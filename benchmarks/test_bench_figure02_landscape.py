@@ -1,0 +1,18 @@
+"""Benchmark E-F2: Figure 2 capacity landscapes."""
+
+from __future__ import annotations
+
+from repro.experiments import figure02_landscape
+
+
+def test_figure02_capacity_landscape(benchmark):
+    result = benchmark(figure02_landscape.run, resolution=81)
+    # Multiplexing is exactly half the lone-sender capacity everywhere.
+    assert abs(result.data["multiplexing_is_half_of_single"] - 0.5) < 1e-9
+    # Concurrency capacity at the reference receiver improves as D grows.
+    conc = list(result.data["concurrency"].values())
+    assert conc == sorted(conc)
+    # A capacity hole surrounds the interferer: capacity there is far below
+    # the far-side value for the same interferer distance.
+    holes = result.data["hole_near_interferer"]
+    assert holes["D=55"] < 0.5 * result.data["concurrency"]["D=55"]

@@ -1,0 +1,19 @@
+"""Benchmark E-F3: Figure 3 receiver preference regions."""
+
+from __future__ import annotations
+
+from repro.experiments import figure03_preferences
+
+
+def test_figure03_preference_regions(benchmark):
+    result = benchmark(figure03_preferences.run, rmax_values=(50.0, 100.0))
+    raw = result.data["raw"]
+    # D = 20: multiplexing optimal for essentially everyone out to Rmax ~ 100.
+    assert raw["D=20, Rmax=100"]["prefer_multiplexing"] > 0.9
+    # D = 120: concurrency optimal for compact networks (Rmax up to ~50).
+    assert raw["D=120, Rmax=50"]["prefer_concurrency"] > 0.9
+    # D = 55: receivers split roughly down the middle.
+    split = raw["D=55, Rmax=50"]["prefer_concurrency"]
+    assert 0.25 < split < 0.75
+    # Starved (hidden-terminal) receivers exist near the interferer for D = 55.
+    assert raw["D=55, Rmax=100"]["starved"] > 0.0

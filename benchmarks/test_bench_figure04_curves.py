@@ -1,0 +1,29 @@
+"""Benchmark E-F4: Figure 4 average throughput curves (no shadowing)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure04_curves
+
+
+def test_figure04_throughput_curves(benchmark):
+    d_values = np.linspace(5.0, 250.0, 30)
+    result = benchmark(
+        figure04_curves.run, rmax_values=(20.0, 55.0, 120.0), d_values=d_values
+    )
+    for rmax, expected_cross in (("Rmax=20", 40.0), ("Rmax=55", 65.0), ("Rmax=120", 75.0)):
+        curve = result.data["curves"][rmax]
+        mux = np.asarray(curve["multiplexing"])
+        conc = np.asarray(curve["concurrent"])
+        optimal = np.asarray(curve["optimal"])
+        # Multiplexing flat, concurrency monotone rising to ~2x multiplexing.
+        assert np.allclose(mux, mux[0])
+        assert np.all(np.diff(conc) > -1e-9)
+        assert conc[-1] / mux[-1] > 1.8
+        # Optimal converges to the winning branch at both extremes.
+        assert optimal[0] == np.mean(optimal[:1])
+        assert abs(optimal[-1] - conc[-1]) / conc[-1] < 0.05
+        assert abs(optimal[0] - mux[0]) / mux[0] < 0.05
+        # Crossing distances land near the paper's threshold values.
+        assert abs(result.data["crossing_distance"][rmax] - expected_cross) < 12.0

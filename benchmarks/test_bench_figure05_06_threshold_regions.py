@@ -1,0 +1,19 @@
+"""Benchmark E-F5/6: Figures 5-6 threshold placement and inefficiency regions."""
+
+from __future__ import annotations
+
+from repro.experiments import figure05_06_threshold_regions
+
+
+def test_figure05_06_inefficiency_regions(benchmark):
+    result = benchmark(figure05_06_threshold_regions.run, n_d_points=40)
+    areas = result.data["raw_areas"]
+    optimal_total = areas["optimal"]["total"]
+    # Mis-set thresholds add the "triangle" of extra inefficiency on the
+    # corresponding side; the crossing-point threshold minimises the total.
+    assert optimal_total <= areas["too_low (0.6x)"]["total"]
+    assert optimal_total <= areas["too_high (1.6x)"]["total"]
+    assert areas["too_low (0.6x)"]["hidden"] > areas["optimal"]["hidden"]
+    assert areas["too_high (1.6x)"]["exposed"] > areas["optimal"]["exposed"]
+    # The Rmax = 55 optimal threshold sits in the mid-60s (Figure 5's vertical line).
+    assert 55.0 < result.data["optimal_threshold"] < 75.0

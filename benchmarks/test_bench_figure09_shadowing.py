@@ -1,0 +1,38 @@
+"""Benchmark E-F9: Figure 9, throughput curves with 8 dB shadowing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure09_shadowing
+
+
+def test_figure09_shadowed_curves(benchmark):
+    result = benchmark(
+        figure09_shadowing.run,
+        rmax_values=(20.0, 120.0),
+        n_samples=12_000,
+        n_d_points=16,
+    )
+    curves = result.data["curves"]
+
+    for rmax_key in ("Rmax=20", "Rmax=120"):
+        shadowed = curves[rmax_key]["shadowed"]
+        cs = np.asarray(shadowed["carrier_sense"])
+        mux = np.asarray(shadowed["multiplexing"])
+        conc = np.asarray(shadowed["concurrent"])
+        # Shadowed carrier sense interpolates smoothly between the branches.
+        assert np.all(cs >= np.minimum(mux, conc) - 1e-9)
+        assert np.all(cs <= np.maximum(mux, conc) + 1e-9)
+        # It follows the winning branch at both extremes of D.
+        assert cs[0] > 0.9 * mux[0]
+        assert cs[-1] > 0.9 * conc[-1]
+
+    # Long-range concurrency benefits from shadowing: the concurrency/
+    # multiplexing gap shrinks relative to the deterministic curves.
+    long_shadowed = curves["Rmax=120"]["shadowed"]
+    long_det = curves["Rmax=120"]["deterministic"]
+    mid = len(long_shadowed["d"]) // 3
+    gap_shadowed = long_shadowed["multiplexing"][mid] - long_shadowed["concurrent"][mid]
+    gap_det = long_det["multiplexing"][mid] - long_det["concurrent"][mid]
+    assert gap_shadowed < gap_det

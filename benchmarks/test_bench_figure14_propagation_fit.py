@@ -1,0 +1,20 @@
+"""Benchmark E-F14: Figure 14, the path-loss / shadowing maximum-likelihood fit."""
+
+from __future__ import annotations
+
+from repro.experiments import figure14_propagation_fit
+
+
+def test_figure14_propagation_fit(benchmark):
+    result = benchmark(figure14_propagation_fit.run)
+    fit = result.data["fit"]
+    truth = result.data["ground_truth"]
+    # The censored ML estimator recovers the ground-truth alpha and sigma from
+    # the all-pairs survey, as the paper's fit (alpha = 3.6, sigma = 10.4 dB)
+    # did for the real testbed.
+    assert abs(fit["alpha"] - truth["alpha"]) <= 0.4
+    assert abs(fit["sigma_db"] - truth["sigma_db"]) <= 2.0
+    # The survey has both detected and censored (sub-threshold) links, so the
+    # censoring machinery is actually exercised.
+    assert fit["n_observed"] > 200
+    assert fit["n_censored"] > 0

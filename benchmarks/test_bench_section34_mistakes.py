@@ -1,0 +1,18 @@
+"""Benchmark E-S34: the Section 3.4 worked example."""
+
+from __future__ import annotations
+
+from repro.experiments import section34_mistake_probability
+
+
+def test_section34_mistake_probability(benchmark):
+    result = benchmark(section34_mistake_probability.run, n_samples=100_000)
+    # Shadowing triggers spurious concurrency for a close interferer a modest
+    # fraction of the time (paper: ~20%; pure one-link calculation ~13%).
+    assert 0.08 <= result.data["spurious_concurrency_probability"] <= 0.25
+    # Only a minority of those leave the receiver below 0 dB SNR...
+    assert result.data["bad_snr_given_concurrency"] <= 0.40
+    # ...so the combined probability is a few percent (paper: ~4%).
+    assert 0.005 <= result.data["combined_bad_snr_probability"] <= 0.08
+    # The sender's SNR-estimate uncertainty is sigma * sqrt(3) ~= 14 dB.
+    assert abs(result.data["snr_estimate_uncertainty_db"] - 13.86) < 0.05

@@ -1,0 +1,20 @@
+"""Benchmark E-T1: Table 1, carrier-sense efficiency with a fixed threshold."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_fixed_threshold
+
+
+def test_table1_fixed_threshold(benchmark):
+    result = benchmark(table1_fixed_threshold.run, n_samples=15_000, seed=0)
+    measured = result.data["measured_percent"]
+    paper = result.data["paper_percent"]
+    # Every cell within a few points of the paper's table.
+    for row_key, row in measured.items():
+        for measured_value, paper_value in zip(row, paper[row_key]):
+            assert abs(measured_value - paper_value) <= 4.0
+    # The grid minimum stays in the mid-80s: carrier sense is never far from optimal.
+    assert result.data["minimum_efficiency_percent"] >= 80.0
+    # The transition column (D = 55) is the weakest for every network size.
+    for row in measured.values():
+        assert row[1] == min(row)

@@ -1,0 +1,100 @@
+"""Packet-level anatomy of a hidden terminal and an exposed terminal.
+
+The analytical model argues that, with adaptive bitrate, "hidden" and
+"exposed" terminals are rarely the catastrophic failures the classic MAC
+literature describes.  This example uses the packet-level simulator to build
+the two textbook geometries explicitly and measure what actually happens:
+
+* **Hidden terminals** -- two senders that cannot hear each other, both
+  within range of receivers in the middle.  Pure CSMA collides; the example
+  shows how much throughput is lost, how much an ideal TDMA schedule would
+  recover, and what RTS/CTS protection buys (and costs).
+* **Exposed terminals** -- two sender-receiver pairs facing away from each
+  other whose senders hear each other.  Carrier sense needlessly serialises
+  them; the example quantifies the lost concurrency and shows that picking a
+  better bitrate recovers most of it, as the paper argues.
+
+Run it with::
+
+    python examples/hidden_exposed_sim.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.propagation import ChannelModel, LogDistancePathLoss
+from repro.simulation import SaturatedTraffic, TdmaSchedule, WirelessNetwork
+
+
+def make_channel() -> ChannelModel:
+    """A deterministic indoor channel (no shadowing, for a clean picture)."""
+    return ChannelModel(
+        path_loss=LogDistancePathLoss(
+            alpha=3.6, frequency_hz=5.24e9, reference_distance_m=20.0, reference_loss_db=77.0
+        ),
+        sigma_db=0.0,
+        rng=np.random.default_rng(0),
+    )
+
+
+def hidden_terminal_study(duration_s: float = 3.0) -> None:
+    """Two senders 140 m apart sharing a receiver in the middle."""
+    print("=== Hidden terminal geometry (A ... R ... B, senders out of range) ===")
+
+    def build(use_rts_cts: bool, mac: str = "csma", schedule=None):
+        net = WirelessNetwork(channel=make_channel(), seed=1)
+        kwargs = {"use_acks": True, "use_rts_cts": use_rts_cts} if mac == "csma" else {}
+        net.add_node("A", (0, 0), mac=mac, tdma_schedule=schedule,
+                     traffic=SaturatedTraffic("R"), rate_mbps=6.0, **kwargs)
+        net.add_node("B", (140, 0), mac=mac, tdma_schedule=schedule,
+                     traffic=SaturatedTraffic("R"), rate_mbps=6.0, **kwargs)
+        net.add_node("R", (70, 0), mac=mac, tdma_schedule=schedule, **kwargs)
+        return net
+
+    plain = build(use_rts_cts=False).run(duration_s)
+    rts = build(use_rts_cts=True).run(duration_s)
+    schedule = TdmaSchedule(slot_duration_s=0.02, slot_owners=("A", "B"))
+    tdma = build(False, mac="tdma", schedule=schedule).run(duration_s)
+
+    for label, result in (("plain CSMA", plain), ("CSMA + RTS/CTS", rts), ("ideal TDMA", tdma)):
+        total = result.total_packets_per_second([("A", "R"), ("B", "R")])
+        print(f"  {label:>15}: {total:7.0f} pkt/s delivered at R")
+    print()
+
+
+def exposed_terminal_study(duration_s: float = 3.0) -> None:
+    """Two pairs facing away from each other; senders hear each other."""
+    print("=== Exposed terminal geometry (R1 <- S1 ... S2 -> R2) ===")
+
+    def build(cca, rate_mbps):
+        net = WirelessNetwork(channel=make_channel(), seed=2, cca_threshold_dbm=cca)
+        net.add_node("S1", (0, 0), traffic=SaturatedTraffic("*"), rate_mbps=rate_mbps)
+        net.add_node("R1", (-8, 0))
+        net.add_node("S2", (30, 0), traffic=SaturatedTraffic("*"), rate_mbps=rate_mbps)
+        net.add_node("R2", (38, 0))
+        return net
+
+    links = [("S1", "R1"), ("S2", "R2")]
+    for rate in (6.0, 24.0):
+        with_cs = build(-82.0, rate).run(duration_s).total_packets_per_second(links)
+        without_cs = build(None, rate).run(duration_s).total_packets_per_second(links)
+        gain = 100.0 * (without_cs / with_cs - 1.0) if with_cs else float("nan")
+        print(
+            f"  fixed {rate:4.0f} Mbps: carrier sense {with_cs:7.0f} pkt/s, "
+            f"ignoring it {without_cs:7.0f} pkt/s ({gain:+.0f}%)"
+        )
+    print(
+        "  -> the exposed-terminal gain exists, but raising the bitrate "
+        "(6 -> 24 Mbps) is worth far more than exploiting the concurrency,"
+        " which is the paper's Section 5 argument."
+    )
+
+
+def main() -> None:
+    hidden_terminal_study()
+    exposed_terminal_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Threshold planning study: choosing a CCA threshold for a product line.
+
+Section 3.3.3 of the paper asks: what carrier-sense threshold should be burnt
+into hardware at the factory, given that the deployment environment (network
+range, path-loss exponent, shadowing) is unknown?  This example reproduces
+that reasoning for a hypothetical 802.11-class product:
+
+* sweep network range Rmax over the hardware's usable operating span and plot
+  (numerically) how the optimal threshold moves;
+* classify each size into short / intermediate / long range;
+* pick the "split the difference" factory threshold;
+* evaluate how much that compromise loses, worst case, across the whole span
+  and across propagation environments (alpha = 2..4).
+
+Run it with::
+
+    python examples/threshold_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_NOISE_RATIO
+from repro.core import (
+    Scenario,
+    average_policies,
+    classify_regime,
+    optimal_threshold,
+    recommended_factory_threshold,
+)
+
+
+def main() -> None:
+    noise = DEFAULT_NOISE_RATIO
+    operating_range = (20.0, 120.0)  # the paper's 802.11a/g usable span
+
+    print("Optimal carrier-sense threshold versus network range (alpha = 3):")
+    for rmax in (20.0, 30.0, 40.0, 60.0, 80.0, 120.0):
+        threshold = optimal_threshold(rmax, 3.0, noise, sigma_db=0.0)
+        regime = classify_regime(rmax, threshold)
+        print(f"  Rmax = {rmax:5.0f}  ->  Dthresh = {threshold:5.1f}   ({regime} range)")
+    print()
+
+    factory = recommended_factory_threshold(*operating_range, alpha=3.0, noise=noise)
+    print(f"Factory ('split the difference') threshold: Dthresh = {factory:.0f}")
+    print()
+
+    print("Worst-case carrier-sense efficiency with that single threshold:")
+    worst = 1.0
+    worst_case = None
+    for alpha in (2.0, 3.0, 4.0):
+        for rmax in np.linspace(*operating_range, 5):
+            for d in (20.0, 55.0, 120.0):
+                scenario = Scenario(rmax=float(rmax), d=d, alpha=alpha, sigma_db=8.0)
+                averages = average_policies(scenario, d_threshold=factory, n_samples=10_000)
+                if averages.cs_efficiency < worst:
+                    worst = averages.cs_efficiency
+                    worst_case = (alpha, float(rmax), d)
+    alpha, rmax, d = worst_case
+    print(
+        f"  {100 * worst:.0f}% of optimal, at alpha = {alpha:g}, Rmax = {rmax:g}, D = {d:g}"
+    )
+    print(
+        "Even the worst corner of the operating envelope stays within ~20% of "
+        "the optimal MAC -- no per-deployment threshold tuning required."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro: reproduction of "In Defense of Wireless Carrier Sense" (Brodsky, 2009).
+
+The package is organised as:
+
+* :mod:`repro.propagation` -- path loss / shadowing / fading substrate.
+* :mod:`repro.capacity`    -- Shannon capacity, 802.11 rates, bitrate adaptation.
+* :mod:`repro.core`        -- the analytical carrier-sense model (the paper's
+  primary contribution): per-configuration capacities, spatial averaging,
+  optimal thresholds, regimes, efficiency tables, landscapes, preferences,
+  shadowing analyses.
+* :mod:`repro.simulation`  -- packet-level discrete-event wireless simulator
+  (CSMA/CA, TDMA, no-CS concurrency, RTS/CTS) used as the testbed substrate.
+* :mod:`repro.testbed`     -- synthetic indoor testbed and the Section 4/5
+  experiment protocols.
+* :mod:`repro.experiments` -- one harness per paper table/figure.
+
+Typical entry points::
+
+    from repro.core import Scenario, average_policies
+    averages = average_policies(Scenario(rmax=40, d=55), d_threshold=55)
+    print(averages.cs_efficiency)
+"""
+
+from . import constants, units
+
+__version__ = "1.0.0"
+
+__all__ = ["constants", "units", "__version__"]

@@ -1,0 +1,85 @@
+"""Capacity and bitrate substrate: Shannon model, 802.11 rates, adaptation.
+
+Provides the throughput models shared by the analytical carrier-sense model
+(Shannon capacity as an adaptive-bitrate proxy) and the packet-level simulator
+(discrete 802.11a rates with SNR-dependent packet error rates and bitrate
+adaptation algorithms).
+"""
+
+from .adaptation import (
+    FixedRate,
+    OracleRateSelector,
+    RateSelector,
+    SampleRateAdapter,
+    best_rate_for_snr,
+    expected_goodput_bps,
+)
+from .error_models import (
+    average_packet_success_rate,
+    ber_bpsk,
+    ber_mqam,
+    ber_qpsk,
+    coded_ber,
+    packet_error_rate,
+    packet_success_rate,
+    raw_ber,
+)
+from .rates import (
+    ACK_BYTES,
+    CW_MAX,
+    CW_MIN,
+    DIFS_S,
+    DSSS_RATES,
+    EXPERIMENT_RATE_SET,
+    OFDM_RATES,
+    SIFS_S,
+    SLOT_TIME_S,
+    RateInfo,
+    ack_airtime_s,
+    frame_airtime_s,
+    ofdm_rate_set,
+    rate_by_mbps,
+)
+from .shannon import (
+    capacity_from_powers,
+    effective_capacity,
+    shannon_capacity,
+    sinr,
+    snr_for_capacity,
+)
+
+__all__ = [
+    "shannon_capacity",
+    "sinr",
+    "capacity_from_powers",
+    "snr_for_capacity",
+    "effective_capacity",
+    "RateInfo",
+    "OFDM_RATES",
+    "DSSS_RATES",
+    "EXPERIMENT_RATE_SET",
+    "rate_by_mbps",
+    "ofdm_rate_set",
+    "frame_airtime_s",
+    "ack_airtime_s",
+    "SLOT_TIME_S",
+    "SIFS_S",
+    "DIFS_S",
+    "CW_MIN",
+    "CW_MAX",
+    "ACK_BYTES",
+    "ber_bpsk",
+    "ber_qpsk",
+    "ber_mqam",
+    "raw_ber",
+    "coded_ber",
+    "packet_error_rate",
+    "packet_success_rate",
+    "average_packet_success_rate",
+    "RateSelector",
+    "FixedRate",
+    "OracleRateSelector",
+    "SampleRateAdapter",
+    "expected_goodput_bps",
+    "best_rate_for_snr",
+]

@@ -1,0 +1,198 @@
+"""Bitrate adaptation algorithms.
+
+The paper's central argument is that *adaptive bitrate* changes the carrier
+sense story: a receiver subject to interference does not lose its link, it
+just runs at a somewhat lower rate.  The analytical model captures this with
+Shannon capacity; the packet simulator needs concrete adaptation algorithms:
+
+* :class:`FixedRate` -- no adaptation (the "fixed bitrate" strawman the paper
+  contrasts against).
+* :class:`OracleRateSelector` -- picks the rate that maximises expected
+  goodput for a known SINR, i.e. the best any adaptation algorithm could do.
+  The Section 4 experiment protocol ("repeat every run at each rate and pick
+  the best") is equivalent to this oracle, so the testbed harness uses it.
+* :class:`SampleRateAdapter` -- a simplified SampleRate [Bicket05]-style
+  online algorithm driven by per-packet transmission feedback, used to show
+  that an online adapter converges to nearly the oracle throughput.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from .error_models import packet_success_rate
+from .rates import OFDM_RATES, RateInfo, frame_airtime_s
+
+__all__ = [
+    "RateSelector",
+    "FixedRate",
+    "OracleRateSelector",
+    "SampleRateAdapter",
+    "expected_goodput_bps",
+    "best_rate_for_snr",
+]
+
+
+def expected_goodput_bps(
+    snr_db: float, rate: RateInfo, payload_bytes: int = 1400
+) -> float:
+    """Expected goodput (payload bits/s) of repeated transmissions at a rate.
+
+    Goodput is payload bits per expected airtime, accounting for the packet
+    success probability at the given SNR.  Retransmission overhead beyond the
+    lost airtime itself (backoff, ACK timeouts) is handled by the simulator.
+    """
+    success = float(packet_success_rate(snr_db, rate, payload_bytes))
+    airtime = frame_airtime_s(payload_bytes, rate)
+    return success * payload_bytes * 8.0 / airtime
+
+
+def best_rate_for_snr(
+    snr_db: float,
+    rates: Sequence[RateInfo] = OFDM_RATES,
+    payload_bytes: int = 1400,
+) -> RateInfo:
+    """The rate with the highest expected goodput at the given SNR."""
+    if not rates:
+        raise ValueError("rate set must not be empty")
+    return max(rates, key=lambda r: expected_goodput_bps(snr_db, r, payload_bytes))
+
+
+class RateSelector:
+    """Interface for bitrate adaptation algorithms used by the simulator."""
+
+    def select(self, link_id: object) -> RateInfo:
+        """Choose the rate for the next transmission on ``link_id``."""
+        raise NotImplementedError
+
+    def report(self, link_id: object, rate: RateInfo, success: bool, airtime_s: float) -> None:
+        """Feed back the outcome of a transmission (default: ignore)."""
+
+
+@dataclass
+class FixedRate(RateSelector):
+    """Always transmit at one fixed rate."""
+
+    rate: RateInfo
+
+    def select(self, link_id: object) -> RateInfo:
+        return self.rate
+
+    def report(self, link_id: object, rate: RateInfo, success: bool, airtime_s: float) -> None:
+        return None
+
+
+@dataclass
+class OracleRateSelector(RateSelector):
+    """Select the goodput-maximising rate for a known per-link SNR.
+
+    The SNR map is provided by the caller (typically the testbed harness,
+    which can query the channel model directly); unknown links fall back to
+    the lowest rate, mirroring a conservative real driver.
+    """
+
+    snr_db_by_link: Dict[object, float]
+    rates: Sequence[RateInfo] = OFDM_RATES
+    payload_bytes: int = 1400
+
+    def select(self, link_id: object) -> RateInfo:
+        snr = self.snr_db_by_link.get(link_id)
+        if snr is None:
+            return min(self.rates, key=lambda r: r.mbps)
+        return best_rate_for_snr(snr, self.rates, self.payload_bytes)
+
+    def report(self, link_id: object, rate: RateInfo, success: bool, airtime_s: float) -> None:
+        return None
+
+
+@dataclass
+class _LinkRateStats:
+    attempts: int = 0
+    successes: int = 0
+    total_airtime_s: float = 0.0
+
+    def average_tx_time(self) -> Optional[float]:
+        if self.successes == 0:
+            return None
+        return self.total_airtime_s / self.successes
+
+
+@dataclass
+class SampleRateAdapter(RateSelector):
+    """Simplified SampleRate bitrate adaptation.
+
+    Tracks, per link and per rate, the average airtime per *successful*
+    transmission, normally transmits at the rate with the lowest average, and
+    occasionally (with probability ``probe_probability``) probes a different
+    rate so the estimates stay fresh.  Rates that have repeatedly failed
+    without success are skipped for a while, as in [Bicket05].
+    """
+
+    rates: Sequence[RateInfo] = OFDM_RATES
+    payload_bytes: int = 1400
+    probe_probability: float = 0.1
+    failure_blackout: int = 4
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            raise ValueError("rate set must not be empty")
+        if not 0.0 <= self.probe_probability < 1.0:
+            raise ValueError("probe probability must lie in [0, 1)")
+        self._stats: Dict[object, Dict[float, _LinkRateStats]] = {}
+        self._consecutive_failures: Dict[object, Dict[float, int]] = {}
+
+    def _link_stats(self, link_id: object) -> Dict[float, _LinkRateStats]:
+        return self._stats.setdefault(link_id, {r.mbps: _LinkRateStats() for r in self.rates})
+
+    def _link_failures(self, link_id: object) -> Dict[float, int]:
+        return self._consecutive_failures.setdefault(link_id, {r.mbps: 0 for r in self.rates})
+
+    def _eligible_rates(self, link_id: object) -> list[RateInfo]:
+        failures = self._link_failures(link_id)
+        eligible = [r for r in self.rates if failures[r.mbps] < self.failure_blackout]
+        return eligible or [min(self.rates, key=lambda r: r.mbps)]
+
+    def select(self, link_id: object) -> RateInfo:
+        stats = self._link_stats(link_id)
+        eligible = self._eligible_rates(link_id)
+        untried = [r for r in eligible if stats[r.mbps].attempts == 0]
+        if untried:
+            # Start from the slowest untried rate so a fresh link comes up safely.
+            return min(untried, key=lambda r: r.mbps)
+        if self.rng.random() < self.probe_probability:
+            return self.rng.choice(eligible)
+        best: Optional[RateInfo] = None
+        best_time = float("inf")
+        for rate in eligible:
+            avg = stats[rate.mbps].average_tx_time()
+            if avg is not None and avg < best_time:
+                best, best_time = rate, avg
+        if best is None:
+            return min(eligible, key=lambda r: r.mbps)
+        return best
+
+    def report(self, link_id: object, rate: RateInfo, success: bool, airtime_s: float) -> None:
+        stats = self._link_stats(link_id)[rate.mbps]
+        failures = self._link_failures(link_id)
+        stats.attempts += 1
+        stats.total_airtime_s += airtime_s
+        if success:
+            stats.successes += 1
+            failures[rate.mbps] = 0
+        else:
+            failures[rate.mbps] += 1
+
+    def best_known_rate(self, link_id: object) -> Optional[RateInfo]:
+        """The rate currently believed best for a link, or None if no successes yet."""
+        stats = self._link_stats(link_id)
+        candidates = [
+            (stats[r.mbps].average_tx_time(), r)
+            for r in self.rates
+            if stats[r.mbps].average_tx_time() is not None
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda item: item[0])[1]

@@ -1,0 +1,135 @@
+"""802.11a/g bitrate tables and frame timing.
+
+The Section 4 experiments run on 802.11a hardware at fixed rates of 6, 9, 12,
+18, and 24 Mbps with 1400-byte packets; the packet-level simulator needs the
+corresponding modulation/coding parameters, minimum-SNR estimates, and on-air
+frame durations.  This module provides the full 802.11a OFDM rate set plus the
+802.11b DSSS rates (used for the 2.4 GHz RSSI probes in Figure 14).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "RateInfo",
+    "OFDM_RATES",
+    "DSSS_RATES",
+    "rate_by_mbps",
+    "frame_airtime_s",
+    "ofdm_rate_set",
+    "EXPERIMENT_RATE_SET",
+]
+
+# 802.11a OFDM timing constants.
+OFDM_SYMBOL_DURATION_S = 4e-6
+OFDM_PREAMBLE_S = 16e-6
+OFDM_SIGNAL_FIELD_S = 4e-6
+OFDM_SERVICE_TAIL_BITS = 22
+MAC_HEADER_FCS_BYTES = 34  # 802.11 data MAC header (30) + FCS (4)
+
+# DCF timing (802.11a).
+SLOT_TIME_S = 9e-6
+SIFS_S = 16e-6
+DIFS_S = SIFS_S + 2 * SLOT_TIME_S
+CW_MIN = 15
+CW_MAX = 1023
+ACK_BYTES = 14
+
+
+@dataclass(frozen=True)
+class RateInfo:
+    """One entry of a PHY rate table.
+
+    Attributes
+    ----------
+    mbps:
+        Nominal data rate in megabits per second.
+    modulation:
+        Modulation name (``BPSK``, ``QPSK``, ``16-QAM``, ``64-QAM``, ...).
+    code_rate:
+        Convolutional code rate (1.0 for uncoded DSSS rates).
+    bits_per_symbol:
+        *Data* bits carried per OFDM symbol after coding (0 for DSSS rates);
+        equal to ``mbps * 4`` for the 4-microsecond 802.11a symbol.
+    min_snr_db:
+        Approximate SNR needed for a low packet-error rate with 1400-byte
+        frames; used for quick feasibility checks and by the oracle rate
+        adaptation algorithm as a starting point.
+    """
+
+    mbps: float
+    modulation: str
+    code_rate: float
+    bits_per_symbol: int
+    min_snr_db: float
+
+    @property
+    def bits_per_second(self) -> float:
+        return self.mbps * 1e6
+
+
+#: 802.11a/g OFDM rates.  Minimum-SNR figures follow the commonly used
+#: receiver-sensitivity deltas from the 802.11 standard (+ ~3 dB margin).
+OFDM_RATES: tuple[RateInfo, ...] = (
+    RateInfo(6.0, "BPSK", 1 / 2, 24, 5.0),
+    RateInfo(9.0, "BPSK", 3 / 4, 36, 6.0),
+    RateInfo(12.0, "QPSK", 1 / 2, 48, 7.5),
+    RateInfo(18.0, "QPSK", 3 / 4, 72, 9.5),
+    RateInfo(24.0, "16-QAM", 1 / 2, 96, 12.5),
+    RateInfo(36.0, "16-QAM", 3 / 4, 144, 16.5),
+    RateInfo(48.0, "64-QAM", 2 / 3, 192, 21.0),
+    RateInfo(54.0, "64-QAM", 3 / 4, 216, 23.0),
+)
+
+#: 802.11b DSSS/CCK rates (2.4 GHz only).
+DSSS_RATES: tuple[RateInfo, ...] = (
+    RateInfo(1.0, "DBPSK", 1.0, 0, 1.0),
+    RateInfo(2.0, "DQPSK", 1.0, 0, 3.0),
+    RateInfo(5.5, "CCK", 1.0, 0, 6.0),
+    RateInfo(11.0, "CCK", 1.0, 0, 9.0),
+)
+
+#: The fixed-rate subset swept by the Section 4 experiments.
+EXPERIMENT_RATE_SET: tuple[RateInfo, ...] = tuple(
+    r for r in OFDM_RATES if r.mbps in (6.0, 9.0, 12.0, 18.0, 24.0)
+)
+
+
+def rate_by_mbps(mbps: float, table: Sequence[RateInfo] = OFDM_RATES) -> RateInfo:
+    """Look up a rate table entry by its nominal Mbps value."""
+    for rate in table:
+        if math.isclose(rate.mbps, mbps):
+            return rate
+    raise KeyError(f"no rate entry for {mbps} Mbps")
+
+
+def ofdm_rate_set(mbps_values: Iterable[float]) -> List[RateInfo]:
+    """Return the OFDM rate entries for the requested Mbps values, sorted ascending."""
+    rates = [rate_by_mbps(m) for m in mbps_values]
+    return sorted(rates, key=lambda r: r.mbps)
+
+
+def frame_airtime_s(payload_bytes: int, rate: RateInfo, include_mac_header: bool = True) -> float:
+    """On-air duration of a data frame at the given OFDM rate.
+
+    Includes PLCP preamble, SIGNAL field, service/tail bits, and (optionally)
+    the MAC header and FCS.  DSSS rates use a simplified long-preamble model.
+    """
+    if payload_bytes < 0:
+        raise ValueError("payload size must be non-negative")
+    header_bytes = MAC_HEADER_FCS_BYTES if include_mac_header else 0
+    total_bits = 8 * (payload_bytes + header_bytes)
+    if rate.bits_per_symbol > 0:
+        symbols = math.ceil((total_bits + OFDM_SERVICE_TAIL_BITS) / rate.bits_per_symbol)
+        return OFDM_PREAMBLE_S + OFDM_SIGNAL_FIELD_S + symbols * OFDM_SYMBOL_DURATION_S
+    # DSSS long preamble: 144 bit preamble + 48 bit PLCP header at 1 Mbps.
+    plcp_s = (144 + 48) / 1e6
+    return plcp_s + total_bits / rate.bits_per_second
+
+
+def ack_airtime_s(rate: RateInfo) -> float:
+    """On-air duration of an ACK frame sent at the given (control) rate."""
+    return frame_airtime_s(ACK_BYTES, rate, include_mac_header=False)

@@ -1,0 +1,103 @@
+"""Shannon-capacity throughput model.
+
+The paper uses the Shannon capacity formula ``C / B = log2(1 + SNR)`` as a
+"rough proportional estimate" of the throughput achievable by an adaptive
+bitrate radio (Section 2).  Interference is treated the same as background
+noise, so the general form is ``log2(1 + S / (N + I))``.
+
+Throughout the analytical model, capacities are in the dimensionless units of
+``log2(1 + SNR)`` (bits per second per hertz); the paper normalises plots to
+the ``Rmax = 20, D = infinity`` value, and helpers for that normalisation live
+in :mod:`repro.core.averaging`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = [
+    "shannon_capacity",
+    "sinr",
+    "capacity_from_powers",
+    "snr_for_capacity",
+    "effective_capacity",
+]
+
+
+def sinr(signal: ArrayLike, noise: ArrayLike, interference: ArrayLike = 0.0) -> ArrayLike:
+    """Signal-to-interference-plus-noise ratio from linear powers."""
+    s = np.asarray(signal, dtype=float)
+    n = np.asarray(noise, dtype=float)
+    i = np.asarray(interference, dtype=float)
+    if np.any(n <= 0):
+        raise ValueError("noise power must be strictly positive")
+    if np.any(s < 0) or np.any(i < 0):
+        raise ValueError("signal and interference powers must be non-negative")
+    result = s / (n + i)
+    if all(np.ndim(x) == 0 for x in (signal, noise, interference)):
+        return float(result)
+    return result
+
+
+def shannon_capacity(snr: ArrayLike, bandwidth_hz: float = 1.0) -> ArrayLike:
+    """Shannon capacity ``B * log2(1 + SNR)``.
+
+    With the default unit bandwidth this returns spectral efficiency in
+    bits/s/Hz, which is the unit the analytical model works in.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    s = np.asarray(snr, dtype=float)
+    if np.any(s < 0):
+        raise ValueError("SNR must be non-negative")
+    result = bandwidth_hz * np.log2(1.0 + s)
+    if np.ndim(snr) == 0:
+        return float(result)
+    return result
+
+
+def capacity_from_powers(
+    signal: ArrayLike,
+    noise: ArrayLike,
+    interference: ArrayLike = 0.0,
+    bandwidth_hz: float = 1.0,
+    time_share: float = 1.0,
+) -> ArrayLike:
+    """Capacity given linear powers, an optional interferer, and a time share.
+
+    ``time_share`` models TDMA-style multiplexing: a sender that holds the
+    channel for a fraction ``f`` of the time achieves ``f * log2(1 + SNR)``.
+    """
+    if not 0.0 <= time_share <= 1.0:
+        raise ValueError("time_share must lie in [0, 1]")
+    return time_share * shannon_capacity(sinr(signal, noise, interference), bandwidth_hz)
+
+
+def snr_for_capacity(capacity: ArrayLike, bandwidth_hz: float = 1.0) -> ArrayLike:
+    """Invert Shannon capacity: the SNR needed for a given capacity."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    c = np.asarray(capacity, dtype=float)
+    if np.any(c < 0):
+        raise ValueError("capacity must be non-negative")
+    result = np.power(2.0, c / bandwidth_hz) - 1.0
+    if np.ndim(capacity) == 0:
+        return float(result)
+    return result
+
+
+def effective_capacity(snr: ArrayLike, efficiency: float = 1.0, bandwidth_hz: float = 1.0) -> ArrayLike:
+    """Shannon capacity scaled by a constant implementation-efficiency factor.
+
+    The paper assumes real radios achieve "the rough shape of Shannon capacity
+    (less by some constant fraction)"; ``efficiency`` is that fraction.
+    Because every MAC policy is scaled identically, efficiency ratios -- the
+    quantity the paper reports -- are unaffected by this factor.
+    """
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError("efficiency must lie in (0, 1]")
+    return efficiency * shannon_capacity(snr, bandwidth_hz)

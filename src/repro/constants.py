@@ -1,0 +1,132 @@
+"""Model constants used throughout the reproduction.
+
+The paper (Brodsky, *In Defense of Wireless Carrier Sense*, 2009) normalises
+its analytical model around a handful of constants.  They are collected here so
+that every module, test, and benchmark refers to the same numbers the paper
+uses rather than re-deriving them locally.
+
+Key quantities
+--------------
+``DEFAULT_NOISE_RATIO``
+    The paper factors the unit-distance transmit power ``P0`` into the noise
+    term and works with ``N = N0 / P0``.  Section 3.2.2 fixes this at -65 dB,
+    chosen so that ``r = 1`` is roughly a human-scale distance from the antenna
+    for 802.11-like gear (15 dBm transmit power, -95 dBm noise floor).
+
+``DEFAULT_PATH_LOSS_EXPONENT`` and ``DEFAULT_SHADOWING_SIGMA_DB``
+    The representative indoor propagation parameters the paper analyses
+    (alpha = 3, sigma = 8 dB); the appendix reports a testbed fit of
+    alpha = 3.6, sigma = 10.4 dB.
+
+``DEFAULT_DTHRESHOLD``
+    The "split the difference" factory carrier-sense threshold distance the
+    paper recommends in Section 3.3.3 (Dthresh = 55, about 13 dB sense power).
+
+``R_SNR_26DB`` / ``R_SNR_3DB``
+    The distances bracketing the usable 802.11a/g operating range in the
+    paper's normalised units: r = 20 gives about 26 dB SNR (54 Mbps territory)
+    and r = 120 gives just under 3 dB (barely enough for 1 Mbps).
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- Analytical model defaults (Section 3.2.2) -----------------------------
+
+#: Normalised noise floor N = N0 / P0 expressed in dB (paper uses -65 dB).
+DEFAULT_NOISE_DB: float = -65.0
+
+#: Normalised noise floor as a linear power ratio.
+DEFAULT_NOISE_RATIO: float = 10.0 ** (DEFAULT_NOISE_DB / 10.0)
+
+#: Typical indoor path-loss exponent used in the analysis.
+DEFAULT_PATH_LOSS_EXPONENT: float = 3.0
+
+#: Typical indoor lognormal shadowing standard deviation (dB).
+DEFAULT_SHADOWING_SIGMA_DB: float = 8.0
+
+#: Range of path-loss exponents the paper sweeps (Figure 7, robustness).
+PATH_LOSS_EXPONENT_RANGE: tuple[float, float] = (2.0, 4.0)
+
+#: Range of shadowing sigmas the paper quotes as typical (dB).
+SHADOWING_SIGMA_RANGE_DB: tuple[float, float] = (4.0, 12.0)
+
+#: Factory-default carrier-sense threshold distance recommended in 3.3.3.
+DEFAULT_DTHRESHOLD: float = 55.0
+
+#: The network radii the paper tabulates (Table 1 / Table 2 rows).
+TABLE_RMAX_VALUES: tuple[float, ...] = (20.0, 40.0, 120.0)
+
+#: The interferer distances the paper tabulates (Table 1 / Table 2 columns).
+TABLE_D_VALUES: tuple[float, ...] = (20.0, 55.0, 120.0)
+
+#: Distance at which SNR is roughly 26 dB under the default model (802.11a/g
+#: 54 Mbps territory).  See Section 3.2.2.
+R_SNR_26DB: float = 20.0
+
+#: Distance at which SNR is just under 3 dB (minimum useful connectivity).
+R_SNR_3DB: float = 120.0
+
+#: Fraction of the upper-bound capacity below which a receiver is considered
+#: "starved" in the preference-region analysis (Figure 3).
+STARVATION_FRACTION: float = 0.10
+
+# --- Regime boundaries (Section 3.3.3) --------------------------------------
+
+#: ``Rthresh < Rmax`` marks the genuine long-range regime.
+LONG_RANGE_THRESHOLD_RATIO: float = 1.0
+
+#: ``Rthresh > 2 * Rmax`` marks true short range.
+SHORT_RANGE_THRESHOLD_RATIO: float = 2.0
+
+# --- Physical-layer constants for the packet simulator ----------------------
+
+#: Boltzmann constant (J/K), used for thermal-noise calculations.
+BOLTZMANN: float = 1.380649e-23
+
+#: Reference temperature (K) for thermal noise.
+REFERENCE_TEMPERATURE_K: float = 290.0
+
+#: Thermal noise power spectral density at the reference temperature (dBm/Hz).
+THERMAL_NOISE_DBM_PER_HZ: float = -174.0
+
+#: 802.11a/g OFDM channel bandwidth (Hz).
+OFDM_BANDWIDTH_HZ: float = 20e6
+
+#: Default transmit power assumed for 802.11-class hardware (dBm).
+DEFAULT_TX_POWER_DBM: float = 15.0
+
+#: Typical receiver noise figure (dB) for commodity 802.11 hardware.
+DEFAULT_NOISE_FIGURE_DB: float = 7.0
+
+#: Noise floor implied by the bandwidth, temperature, and noise figure (dBm).
+DEFAULT_NOISE_FLOOR_DBM: float = (
+    THERMAL_NOISE_DBM_PER_HZ
+    + 10.0 * math.log10(OFDM_BANDWIDTH_HZ)
+    + DEFAULT_NOISE_FIGURE_DB
+)
+
+#: Carrier frequency for the 2.4 GHz experiments (Figure 14 fit).
+FREQ_2_4_GHZ: float = 2.437e9
+
+#: Carrier frequency for the 5 GHz (802.11a) experiments of Section 4.
+FREQ_5_GHZ: float = 5.24e9
+
+#: Speed of light (m/s).
+SPEED_OF_LIGHT: float = 299_792_458.0
+
+#: Payload size used throughout Section 4 (bytes).
+EXPERIMENT_PAYLOAD_BYTES: int = 1400
+
+#: Duration of each Section 4 measurement run (seconds).
+EXPERIMENT_RUN_SECONDS: float = 15.0
+
+#: The fixed bitrates (Mbps) swept in the Section 4 experiments.
+EXPERIMENT_RATES_MBPS: tuple[float, ...] = (6.0, 9.0, 12.0, 18.0, 24.0)
+
+#: Delivery-rate cutoffs used to classify pairs (Section 4): short range is
+#: >= 94 % delivery at 6 Mbps, long range is 80-95 %.
+SHORT_RANGE_DELIVERY_MIN: float = 0.94
+LONG_RANGE_DELIVERY_MIN: float = 0.80
+LONG_RANGE_DELIVERY_MAX: float = 0.95

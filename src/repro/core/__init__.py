@@ -1,0 +1,115 @@
+"""The paper's primary contribution: the analytical carrier-sense model.
+
+Everything in this package operates in the paper's normalised units (unit
+transmit power folded into the noise floor, distances such that r = 20 gives
+roughly 26 dB SNR) and produces the quantities reported in Section 3:
+per-configuration capacities, spatially averaged throughput under each MAC
+policy, efficiency tables, optimal thresholds, regime classifications,
+capacity landscapes, receiver-preference maps, and the shadowing analyses.
+"""
+
+from .averaging import (
+    ConfigurationSamples,
+    PolicyAverages,
+    average_policies,
+    draw_configuration,
+    normalization_capacity,
+    single_sender_average,
+    throughput_curves,
+)
+from .efficiency import (
+    EfficiencyCell,
+    EfficiencyTable,
+    fixed_threshold_table,
+    tuned_threshold_table,
+)
+from .geometry import Scenario, interferer_distance, receiver_grid, sample_receiver_positions
+from .landscape import CapacityMap, capacity_map
+from .preferences import (
+    PREFER_CONCURRENCY,
+    PREFER_MULTIPLEXING,
+    STARVED,
+    PreferenceFractions,
+    PreferenceMap,
+    preference_fractions,
+    preference_map,
+)
+from .shadowing_model import (
+    MistakeAnalysis,
+    mistake_analysis,
+    shadowing_capacity_gain,
+    shadowing_comparison_curves,
+    snr_estimate_sigma_db,
+    spurious_concurrency_probability,
+)
+from .thresholds import (
+    ThresholdCurvePoint,
+    classify_regime,
+    optimal_threshold,
+    recommended_factory_threshold,
+    regime_boundaries,
+    short_range_threshold_approx,
+    threshold_curve,
+)
+from .throughput import (
+    c_carrier_sense,
+    c_concurrent,
+    c_multiplexing,
+    c_optimal_pair,
+    c_single,
+    c_upper_bound,
+    carrier_sense_defers,
+    sensed_power,
+    threshold_distance_from_power,
+    threshold_power_from_distance,
+)
+
+__all__ = [
+    "Scenario",
+    "interferer_distance",
+    "sample_receiver_positions",
+    "receiver_grid",
+    "c_single",
+    "c_multiplexing",
+    "c_concurrent",
+    "c_carrier_sense",
+    "c_optimal_pair",
+    "c_upper_bound",
+    "carrier_sense_defers",
+    "sensed_power",
+    "threshold_power_from_distance",
+    "threshold_distance_from_power",
+    "PolicyAverages",
+    "ConfigurationSamples",
+    "average_policies",
+    "draw_configuration",
+    "single_sender_average",
+    "normalization_capacity",
+    "throughput_curves",
+    "optimal_threshold",
+    "short_range_threshold_approx",
+    "classify_regime",
+    "regime_boundaries",
+    "recommended_factory_threshold",
+    "threshold_curve",
+    "ThresholdCurvePoint",
+    "EfficiencyCell",
+    "EfficiencyTable",
+    "fixed_threshold_table",
+    "tuned_threshold_table",
+    "CapacityMap",
+    "capacity_map",
+    "PreferenceMap",
+    "PreferenceFractions",
+    "preference_map",
+    "preference_fractions",
+    "PREFER_CONCURRENCY",
+    "PREFER_MULTIPLEXING",
+    "STARVED",
+    "shadowing_comparison_curves",
+    "MistakeAnalysis",
+    "mistake_analysis",
+    "spurious_concurrency_probability",
+    "snr_estimate_sigma_db",
+    "shadowing_capacity_gain",
+]

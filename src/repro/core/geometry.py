@@ -1,0 +1,134 @@
+"""Scenario geometry for the two-pair carrier-sense model.
+
+The model scenario (paper Figure 1) consists of two sender-receiver pairs.
+Sender 1 sits at the origin; its receiver is uniformly distributed over the
+disc of radius ``Rmax`` centred on it.  Sender 2 (the "interferer") sits on
+the negative x-axis at distance ``D`` -- polar coordinates ``(D, pi)`` -- with
+its own receiver uniformly distributed within ``Rmax`` of *it*.  The two
+network-defining free parameters are therefore ``Rmax`` (network range) and
+``D`` (sender-sender distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..constants import (
+    DEFAULT_NOISE_RATIO,
+    DEFAULT_PATH_LOSS_EXPONENT,
+    DEFAULT_SHADOWING_SIGMA_DB,
+)
+
+__all__ = ["Scenario", "interferer_distance", "sample_receiver_positions", "receiver_grid"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully specified model scenario.
+
+    Parameters
+    ----------
+    rmax:
+        Network range: receivers are uniform over a disc of this radius
+        around their sender (normalised distance units).
+    d:
+        Sender-sender separation.
+    alpha:
+        Path-loss exponent.
+    sigma_db:
+        Lognormal shadowing standard deviation (dB); 0 gives the simplified
+        deterministic model of Section 3.3.
+    noise:
+        Normalised noise floor ``N = N0 / P0`` as a linear ratio
+        (default 10**(-6.5), i.e. -65 dB).
+    """
+
+    rmax: float
+    d: float
+    alpha: float = DEFAULT_PATH_LOSS_EXPONENT
+    sigma_db: float = DEFAULT_SHADOWING_SIGMA_DB
+    noise: float = DEFAULT_NOISE_RATIO
+
+    def __post_init__(self) -> None:
+        if self.rmax <= 0:
+            raise ValueError("rmax must be positive")
+        if self.d <= 0:
+            raise ValueError("sender separation d must be positive")
+        if self.alpha <= 0:
+            raise ValueError("path-loss exponent must be positive")
+        if self.sigma_db < 0:
+            raise ValueError("shadowing sigma must be non-negative")
+        if self.noise <= 0:
+            raise ValueError("noise must be positive")
+
+    def without_shadowing(self) -> "Scenario":
+        """The same scenario with shadowing disabled (sigma = 0)."""
+        return replace(self, sigma_db=0.0)
+
+    def with_d(self, d: float) -> "Scenario":
+        """The same scenario at a different sender separation."""
+        return replace(self, d=d)
+
+    def with_rmax(self, rmax: float) -> "Scenario":
+        """The same scenario with a different network range."""
+        return replace(self, rmax=rmax)
+
+    @property
+    def edge_snr_db(self) -> float:
+        """Mean SNR (dB) of a receiver at the edge of the network range."""
+        return float(10.0 * np.log10(self.rmax**-self.alpha / self.noise))
+
+
+def interferer_distance(r, theta, d):
+    """Distance from a receiver at polar ``(r, theta)`` to the interferer.
+
+    The interferer is at Cartesian ``(-d, 0)``, so
+
+        delta_r = sqrt((r cos(theta) + d)^2 + (r sin(theta))^2)
+
+    exactly as in Section 3.2.2.
+    """
+    r = np.asarray(r, dtype=float)
+    theta = np.asarray(theta, dtype=float)
+    return np.sqrt((r * np.cos(theta) + d) ** 2 + (r * np.sin(theta)) ** 2)
+
+
+def sample_receiver_positions(
+    rmax: float, n: int, rng: np.random.Generator, r_min: float = 1e-3
+):
+    """Sample ``n`` receiver positions uniformly over the disc of radius ``rmax``.
+
+    Returns ``(r, theta)`` arrays.  A tiny ``r_min`` keeps samples off the
+    singular point at the transmitter itself, which the paper notes is "of
+    little practical significance".
+    """
+    if n <= 0:
+        raise ValueError("need at least one sample")
+    if rmax <= 0:
+        raise ValueError("rmax must be positive")
+    u = rng.uniform(0.0, 1.0, size=n)
+    r = np.maximum(np.sqrt(u) * rmax, r_min)
+    theta = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    return r, theta
+
+
+def receiver_grid(rmax: float, n_r: int, n_theta: int, r_min: float = 1e-3):
+    """Deterministic area-weighted grid over the receiver disc.
+
+    Returns ``(r, theta, weights)`` flattened arrays where the weights sum to
+    one and implement the ``1/(pi Rmax^2) * integral ... r dr dtheta`` measure
+    via the midpoint rule in ``r**2`` (uniform-area rings) and ``theta``.
+    Used for the deterministic (sigma = 0) integration path.
+    """
+    if n_r <= 0 or n_theta <= 0:
+        raise ValueError("grid sizes must be positive")
+    # Midpoints of equal-area rings: r_k = Rmax * sqrt((k + 0.5) / n_r).
+    ring_index = np.arange(n_r) + 0.5
+    r_nodes = rmax * np.sqrt(ring_index / n_r)
+    r_nodes = np.maximum(r_nodes, r_min)
+    theta_nodes = (np.arange(n_theta) + 0.5) * (2.0 * np.pi / n_theta)
+    r_mesh, theta_mesh = np.meshgrid(r_nodes, theta_nodes, indexing="ij")
+    weights = np.full(r_mesh.size, 1.0 / (n_r * n_theta))
+    return r_mesh.ravel(), theta_mesh.ravel(), weights

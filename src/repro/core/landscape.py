@@ -1,0 +1,118 @@
+"""Capacity "landscape" maps (Figure 2).
+
+Figure 2 plots link capacity as a function of receiver position -- a capacity
+map -- for a sender at the origin and an interferer on the x-axis at distance
+``D``, under no competition, multiplexing, and concurrency.  These maps are
+computed on a Cartesian grid with shadowing disabled, exactly as in the paper
+("for clarity, in these plots we ignore shadowing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..constants import DEFAULT_NOISE_RATIO, DEFAULT_PATH_LOSS_EXPONENT
+from ..capacity.shannon import shannon_capacity
+
+__all__ = ["CapacityMap", "capacity_map"]
+
+Mode = Literal["single", "multiplexing", "concurrency"]
+
+
+@dataclass(frozen=True)
+class CapacityMap:
+    """A capacity map over a Cartesian grid of receiver positions.
+
+    Attributes
+    ----------
+    x, y:
+        1-D coordinate arrays (the grid is their Cartesian product).
+    capacity:
+        2-D array, indexed ``[i, j]`` for position ``(x[i], y[j])``.
+    mode:
+        Which MAC situation the map depicts.
+    d:
+        Interferer distance (only meaningful for concurrency maps).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    capacity: np.ndarray
+    mode: str
+    d: float | None
+    alpha: float
+    noise: float
+
+    def value_at(self, x: float, y: float) -> float:
+        """Capacity at the grid point nearest to ``(x, y)``."""
+        i = int(np.argmin(np.abs(self.x - x)))
+        j = int(np.argmin(np.abs(self.y - y)))
+        return float(self.capacity[i, j])
+
+    def peak_position(self) -> tuple[float, float]:
+        """Grid position of the capacity peak (should be the transmitter)."""
+        i, j = np.unravel_index(int(np.argmax(self.capacity)), self.capacity.shape)
+        return float(self.x[i]), float(self.y[j])
+
+
+def capacity_map(
+    mode: Mode,
+    d: float | None = None,
+    extent: float = 150.0,
+    resolution: int = 121,
+    alpha: float = DEFAULT_PATH_LOSS_EXPONENT,
+    noise: float = DEFAULT_NOISE_RATIO,
+    r_min: float = 0.5,
+) -> CapacityMap:
+    """Compute a Figure-2 style capacity map.
+
+    Parameters
+    ----------
+    mode:
+        ``"single"`` (no competition), ``"multiplexing"``, or
+        ``"concurrency"``.
+    d:
+        Interferer distance; required for concurrency, ignored otherwise.
+        The interferer sits at ``(-d, 0)`` as in the model geometry.
+    extent:
+        Half-width of the square map in normalised distance units.
+    resolution:
+        Number of grid points per axis.
+    r_min:
+        Distances are clamped below by this value to avoid the (physically
+        meaningless) singularity at zero range.
+    """
+    if mode not in ("single", "multiplexing", "concurrency"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if mode == "concurrency":
+        if d is None or d <= 0:
+            raise ValueError("concurrency maps require a positive interferer distance d")
+    x = np.linspace(-extent, extent, resolution)
+    y = np.linspace(-extent, extent, resolution)
+    xx, yy = np.meshgrid(x, y, indexing="ij")
+    r = np.maximum(np.hypot(xx, yy), r_min)
+    signal = np.power(r, -alpha)
+
+    if mode == "concurrency":
+        delta = np.maximum(np.hypot(xx + d, yy), r_min)
+        interference = np.power(delta, -alpha)
+        snr = signal / (noise + interference)
+        cap = shannon_capacity(snr)
+    else:
+        snr = signal / noise
+        cap = shannon_capacity(snr)
+        if mode == "multiplexing":
+            cap = 0.5 * cap
+
+    return CapacityMap(
+        x=x,
+        y=y,
+        capacity=np.asarray(cap),
+        mode=mode,
+        d=None if mode != "concurrency" else float(d),
+        alpha=alpha,
+        noise=noise,
+    )

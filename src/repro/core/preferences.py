@@ -1,0 +1,142 @@
+"""Receiver preference-region maps (Figure 3).
+
+Figure 3 classifies every possible receiver position by which MAC choice it
+prefers when an interferer sits at distance ``D``:
+
+* **prefer concurrency** -- concurrent capacity exceeds the multiplexing
+  capacity at that position (dark grey in the paper's figure);
+* **prefer multiplexing** -- the reverse (light grey);
+* **starved** -- the receiver prefers multiplexing *and* would receive less
+  than 10 % of its CUBmax capacity under concurrency (white): these are the
+  genuine "hidden terminal" victims of Section 3.3.3.
+
+The paper's figure covers receivers over a square around the sender; this
+module classifies either a Cartesian grid or a disc of radius ``Rmax`` and
+reports the area fractions, which is what the tests and benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import (
+    DEFAULT_NOISE_RATIO,
+    DEFAULT_PATH_LOSS_EXPONENT,
+    STARVATION_FRACTION,
+)
+from .geometry import receiver_grid
+from .throughput import c_concurrent, c_multiplexing
+
+__all__ = ["PreferenceMap", "PreferenceFractions", "preference_map", "preference_fractions"]
+
+#: Integer codes used in the classification grid.
+PREFER_CONCURRENCY = 0
+PREFER_MULTIPLEXING = 1
+STARVED = 2
+
+
+@dataclass(frozen=True)
+class PreferenceMap:
+    """Classification of receiver positions over a Cartesian grid."""
+
+    x: np.ndarray
+    y: np.ndarray
+    classification: np.ndarray
+    d: float
+    alpha: float
+    noise: float
+    starvation_fraction: float
+
+    def fraction(self, code: int, within_radius: float | None = None) -> float:
+        """Area fraction with a given classification, optionally within a disc."""
+        mask = np.ones_like(self.classification, dtype=bool)
+        if within_radius is not None:
+            xx, yy = np.meshgrid(self.x, self.y, indexing="ij")
+            mask = np.hypot(xx, yy) <= within_radius
+        total = int(mask.sum())
+        if total == 0:
+            return 0.0
+        return float(np.sum((self.classification == code) & mask) / total)
+
+
+@dataclass(frozen=True)
+class PreferenceFractions:
+    """Area fractions of each preference class within a disc of radius Rmax."""
+
+    rmax: float
+    d: float
+    prefer_concurrency: float
+    prefer_multiplexing: float
+    starved: float
+
+    @property
+    def prefer_multiplexing_total(self) -> float:
+        """All receivers preferring multiplexing, including the starved ones."""
+        return self.prefer_multiplexing + self.starved
+
+    @property
+    def dominant_choice(self) -> str:
+        """Which single choice satisfies the majority of receivers."""
+        if self.prefer_concurrency >= self.prefer_multiplexing_total:
+            return "concurrency"
+        return "multiplexing"
+
+
+def _classify(conc: np.ndarray, mux: np.ndarray, starvation_fraction: float) -> np.ndarray:
+    upper = np.maximum(conc, mux)
+    prefer_mux = mux > conc
+    starved = prefer_mux & (conc < starvation_fraction * upper)
+    classification = np.full(conc.shape, PREFER_CONCURRENCY, dtype=int)
+    classification[prefer_mux] = PREFER_MULTIPLEXING
+    classification[starved] = STARVED
+    return classification
+
+
+def preference_map(
+    d: float,
+    extent: float = 150.0,
+    resolution: int = 151,
+    alpha: float = DEFAULT_PATH_LOSS_EXPONENT,
+    noise: float = DEFAULT_NOISE_RATIO,
+    starvation_fraction: float = STARVATION_FRACTION,
+    r_min: float = 0.5,
+) -> PreferenceMap:
+    """Classify receiver positions on a Cartesian grid (Figure 3 style)."""
+    if d <= 0:
+        raise ValueError("interferer distance must be positive")
+    x = np.linspace(-extent, extent, resolution)
+    y = np.linspace(-extent, extent, resolution)
+    xx, yy = np.meshgrid(x, y, indexing="ij")
+    r = np.maximum(np.hypot(xx, yy), r_min)
+    theta = np.arctan2(yy, xx)
+    conc = np.asarray(c_concurrent(r, theta, d, alpha, noise))
+    mux = np.asarray(c_multiplexing(r, alpha, noise))
+    classification = _classify(conc, mux, starvation_fraction)
+    return PreferenceMap(x, y, classification, float(d), alpha, noise, starvation_fraction)
+
+
+def preference_fractions(
+    rmax: float,
+    d: float,
+    alpha: float = DEFAULT_PATH_LOSS_EXPONENT,
+    noise: float = DEFAULT_NOISE_RATIO,
+    starvation_fraction: float = STARVATION_FRACTION,
+    n_r: int = 200,
+    n_theta: int = 256,
+) -> PreferenceFractions:
+    """Preference-class area fractions within the network disc of radius Rmax."""
+    if rmax <= 0 or d <= 0:
+        raise ValueError("rmax and d must be positive")
+    r, theta, weights = receiver_grid(rmax, n_r, n_theta)
+    conc = np.asarray(c_concurrent(r, theta, d, alpha, noise))
+    mux = np.asarray(c_multiplexing(r, alpha, noise))
+    classification = _classify(conc, mux, starvation_fraction)
+    return PreferenceFractions(
+        rmax=rmax,
+        d=d,
+        prefer_concurrency=float(np.sum(weights[classification == PREFER_CONCURRENCY])),
+        prefer_multiplexing=float(np.sum(weights[classification == PREFER_MULTIPLEXING])),
+        starved=float(np.sum(weights[classification == STARVED])),
+    )

@@ -1,0 +1,47 @@
+"""Experiment harnesses: one module per paper table / figure, plus ablations.
+
+Each module exposes ``run(...) -> ExperimentResult`` and can be executed as a
+script (``python -m repro.experiments.table1_fixed_threshold``).  The mapping
+from paper artefacts to modules is recorded in DESIGN.md; EXPERIMENTS.md
+collects paper-versus-measured numbers produced by these harnesses.
+"""
+
+from . import (
+    ablation_fixed_bitrate,
+    ablation_noise_floor,
+    figure02_landscape,
+    figure03_preferences,
+    figure04_curves,
+    figure05_06_threshold_regions,
+    figure07_optimal_threshold,
+    figure09_shadowing,
+    figure14_propagation_fit,
+    section34_mistake_probability,
+    section5_exposed_terminals,
+    table1_fixed_threshold,
+    table2_tuned_threshold,
+    testbed_section4,
+)
+from .base import ExperimentResult
+
+#: Registry of experiment ids to their run() callables, used by the runner
+#: script and by EXPERIMENTS.md generation.
+REGISTRY = {
+    "figure-02": figure02_landscape.run,
+    "figure-03": figure03_preferences.run,
+    "figure-04": figure04_curves.run,
+    "figure-05-06": figure05_06_threshold_regions.run,
+    "figure-07": figure07_optimal_threshold.run,
+    "figure-09": figure09_shadowing.run,
+    "table-1": table1_fixed_threshold.run,
+    "table-2": table2_tuned_threshold.run,
+    "section-3.4": section34_mistake_probability.run,
+    "figures-10-11": lambda **kwargs: testbed_section4.run(link_class="short", **kwargs),
+    "figures-12-13": lambda **kwargs: testbed_section4.run(link_class="long", **kwargs),
+    "section-5": section5_exposed_terminals.run,
+    "figure-14": figure14_propagation_fit.run,
+    "ablation-noise-floor": ablation_noise_floor.run,
+    "ablation-fixed-bitrate": ablation_fixed_bitrate.run,
+}
+
+__all__ = ["ExperimentResult", "REGISTRY"]

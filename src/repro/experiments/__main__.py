@@ -1,0 +1,56 @@
+"""Run experiment harnesses from the command line.
+
+Usage::
+
+    python -m repro.experiments                # list available experiments
+    python -m repro.experiments table-1        # run one experiment
+    python -m repro.experiments --all          # run every analytical experiment
+    python -m repro.experiments --all --full   # include the (slow) testbed campaigns
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import REGISTRY
+
+#: Experiments that run a packet-level campaign and take minutes rather than
+#: seconds; excluded from ``--all`` unless ``--full`` is given.
+SLOW_EXPERIMENTS = ("figures-10-11", "figures-12-13", "section-5")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment", nargs="*", help="experiment id(s) to run")
+    parser.add_argument("--all", action="store_true", help="run every registered experiment")
+    parser.add_argument(
+        "--full", action="store_true", help="with --all, include the slow testbed campaigns"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.experiment and not args.all:
+        print("Available experiments:")
+        for name in REGISTRY:
+            marker = " (slow)" if name in SLOW_EXPERIMENTS else ""
+            print(f"  {name}{marker}")
+        return 0
+
+    names = list(REGISTRY) if args.all else args.experiment
+    if args.all and not args.full:
+        names = [name for name in names if name not in SLOW_EXPERIMENTS]
+
+    for name in names:
+        if name not in REGISTRY:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 1
+        result = REGISTRY[name]()
+        data = {k: v for k, v in result.data.items() if k not in ("campaign", "curves", "scatter", "study", "raw", "raw_areas")}
+        result.data = data
+        print(result.summary())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

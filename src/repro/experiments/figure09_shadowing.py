@@ -1,0 +1,74 @@
+"""Figure 9: throughput curves with 8 dB shadowing.
+
+Reproduces the shadowed throughput-vs-D curves for Rmax = 20, 55, 120 overlaid
+on the deterministic curves, and quantifies the paper's observations:
+
+* carrier sense interpolates smoothly between the multiplexing and concurrency
+  branches instead of switching abruptly;
+* shadowing widens the transition region and slightly lowers carrier-sense
+  throughput relative to the piecewise ideal;
+* at long range shadowing *raises* average concurrency capacity (the convexity
+  effect), shrinking the concurrency/multiplexing gap and shifting the optimal
+  threshold leftward.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..constants import DEFAULT_NOISE_RATIO, DEFAULT_PATH_LOSS_EXPONENT
+from ..core.shadowing_model import shadowing_capacity_gain, shadowing_comparison_curves
+from ..core.thresholds import optimal_threshold
+from .base import ExperimentResult
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "figure-09"
+
+
+def run(
+    rmax_values: Sequence[float] = (20.0, 55.0, 120.0),
+    sigma_db: float = 8.0,
+    alpha: float = DEFAULT_PATH_LOSS_EXPONENT,
+    noise: float = DEFAULT_NOISE_RATIO,
+    n_samples: int = 20_000,
+    n_d_points: int = 30,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Compute the Figure 9 shadowed and deterministic curve pairs."""
+    result = ExperimentResult(EXPERIMENT_ID, "Average MAC throughput with 8 dB shadowing")
+    d_values = np.linspace(5.0, 250.0, n_d_points)
+    summary: Dict[str, str] = {}
+    curves: Dict[str, dict] = {}
+    for rmax in rmax_values:
+        threshold = optimal_threshold(rmax, alpha, noise, sigma_db=0.0)
+        pair = shadowing_comparison_curves(
+            rmax, d_values, threshold, alpha, noise, sigma_db, n_samples, seed
+        )
+        curves[f"Rmax={rmax:g}"] = pair
+        shadowed_cs = np.asarray(pair["shadowed"]["carrier_sense"])
+        ideal_cs = np.asarray(pair["deterministic"]["carrier_sense"])
+        gap = float(np.mean(ideal_cs - shadowed_cs))
+        conc_gain = shadowing_capacity_gain(rmax, d=float(rmax), sigma_db=sigma_db, seed=seed)
+        summary[f"Rmax={rmax:g}"] = (
+            f"mean CS gap vs deterministic {gap:+.3f}, "
+            f"concurrency capacity gain from shadowing {conc_gain:.2f}x"
+        )
+    result.data["summary"] = summary
+    result.data["curves"] = curves
+    result.add_note(
+        "Shadowed carrier sense hangs slightly below the deterministic piecewise "
+        "curve across the transition region, while long-range concurrency "
+        "benefits from the capacity convexity under dB-symmetric variation."
+    )
+    return result
+
+
+def main() -> None:
+    print(run().summary())
+
+
+if __name__ == "__main__":
+    main()

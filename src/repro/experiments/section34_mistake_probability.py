@@ -1,0 +1,76 @@
+"""Section 3.4 worked example: how often shadowing causes a very poor SNR.
+
+The paper's concrete example: an Rmax = 20 network with Dthresh = 40 facing an
+interferer at D = 20 under 8 dB shadowing.  Shadowing makes the interferer
+appear beyond the threshold about 20 % of the time (triggering concurrency),
+and roughly 20 % of receiver positions (those closer to the interferer than to
+the sender) are then left with sub-0 dB SNR, for a combined ~4 % of
+configurations with very poor SNR.
+"""
+
+from __future__ import annotations
+
+from ..constants import DEFAULT_NOISE_RATIO, DEFAULT_PATH_LOSS_EXPONENT
+from ..core.shadowing_model import (
+    mistake_analysis,
+    snr_estimate_sigma_db,
+    spurious_concurrency_probability,
+)
+from .base import ExperimentResult
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "section-3.4"
+
+
+def run(
+    rmax: float = 20.0,
+    d: float = 20.0,
+    d_threshold: float = 40.0,
+    sigma_db: float = 8.0,
+    alpha: float = DEFAULT_PATH_LOSS_EXPONENT,
+    noise: float = DEFAULT_NOISE_RATIO,
+    n_samples: int = 200_000,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run the Section 3.4 worked example."""
+    analysis = mistake_analysis(
+        rmax=rmax,
+        d=d,
+        d_threshold=d_threshold,
+        alpha=alpha,
+        noise=noise,
+        sigma_db=sigma_db,
+        n_samples=n_samples,
+        seed=seed,
+    )
+    result = ExperimentResult(EXPERIMENT_ID, "Shadowing-induced carrier-sense mistakes")
+    result.data["spurious_concurrency_probability"] = analysis.spurious_concurrency_probability
+    result.data["analytic_spurious_probability"] = spurious_concurrency_probability(
+        d, d_threshold, alpha, sigma_db
+    )
+    result.data["bad_snr_given_concurrency"] = analysis.bad_snr_given_concurrency
+    result.data["closer_to_interferer_fraction"] = analysis.closer_to_interferer_fraction
+    result.data["combined_bad_snr_probability"] = analysis.combined_bad_snr_probability
+    result.data["snr_estimate_uncertainty_db"] = snr_estimate_sigma_db(sigma_db)
+    result.data["paper_values"] = {
+        "spurious_concurrency_probability": 0.20,
+        "bad_snr_given_concurrency": 0.20,
+        "combined_bad_snr_probability": 0.04,
+        "snr_estimate_uncertainty_db": 14.0,
+    }
+    result.add_note(
+        "Carrier sense makes a spurious concurrency decision for a close "
+        "interferer a modest fraction of the time, and only a minority of those "
+        "cases leave the receiver below 0 dB SNR -- a small combined probability, "
+        "matching the paper's ~4% estimate."
+    )
+    return result
+
+
+def main() -> None:
+    print(run().summary())
+
+
+if __name__ == "__main__":
+    main()

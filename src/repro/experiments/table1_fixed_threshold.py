@@ -1,0 +1,80 @@
+"""Table 1: carrier-sense efficiency with a fixed factory threshold.
+
+Reproduces the Section 3.2.5 table of carrier-sense throughput as a percentage
+of optimal-MAC throughput for Rmax in {20, 40, 120} x D in {20, 55, 120} with
+Dthresh = 55, alpha = 3, sigma = 8 dB.  The paper's values:
+
+    Rmax \\ D |   20 |   55 |  120
+          20 |  96% |  88% |  96%
+          40 |  96% |  87% |  96%
+         120 |  89% |  83% |  92%
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..constants import (
+    DEFAULT_DTHRESHOLD,
+    DEFAULT_NOISE_RATIO,
+    DEFAULT_PATH_LOSS_EXPONENT,
+    DEFAULT_SHADOWING_SIGMA_DB,
+    TABLE_D_VALUES,
+    TABLE_RMAX_VALUES,
+)
+from ..core.efficiency import fixed_threshold_table
+from .base import ExperimentResult, format_table
+
+__all__ = ["run", "PAPER_TABLE1_PERCENT"]
+
+EXPERIMENT_ID = "table-1"
+
+#: The paper's reported percentages, indexed [rmax][d].
+PAPER_TABLE1_PERCENT = {
+    20.0: {20.0: 96, 55.0: 88, 120.0: 96},
+    40.0: {20.0: 96, 55.0: 87, 120.0: 96},
+    120.0: {20.0: 89, 55.0: 83, 120.0: 92},
+}
+
+
+def run(
+    rmax_values: Sequence[float] = TABLE_RMAX_VALUES,
+    d_values: Sequence[float] = TABLE_D_VALUES,
+    d_threshold: float = DEFAULT_DTHRESHOLD,
+    alpha: float = DEFAULT_PATH_LOSS_EXPONENT,
+    sigma_db: float = DEFAULT_SHADOWING_SIGMA_DB,
+    noise: float = DEFAULT_NOISE_RATIO,
+    n_samples: int = 20_000,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Compute Table 1 and compare against the paper's values."""
+    table = fixed_threshold_table(
+        rmax_values, d_values, d_threshold, alpha, sigma_db, noise, n_samples, seed
+    )
+    matrix = 100.0 * table.efficiency_matrix()
+    result = ExperimentResult(EXPERIMENT_ID, "CS efficiency, fixed Dthresh = 55")
+    result.data["table"] = format_table(
+        [f"Rmax={r:g}" for r in rmax_values], [f"D={d:g}" for d in d_values], matrix
+    )
+    result.data["measured_percent"] = {
+        f"Rmax={r:g}": [float(matrix[i, j]) for j in range(len(d_values))]
+        for i, r in enumerate(rmax_values)
+    }
+    result.data["paper_percent"] = {
+        f"Rmax={r:g}": [PAPER_TABLE1_PERCENT.get(float(r), {}).get(float(d)) for d in d_values]
+        for r in rmax_values
+    }
+    result.data["minimum_efficiency_percent"] = float(matrix.min())
+    result.add_note(
+        "Carrier sense stays within ~15-17% of optimal everywhere; the minimum "
+        "sits in the transition column (D = 55) and the long-range row (Rmax = 120)."
+    )
+    return result
+
+
+def main() -> None:
+    print(run().summary())
+
+
+if __name__ == "__main__":
+    main()

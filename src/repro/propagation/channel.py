@@ -1,0 +1,177 @@
+"""Composite path-loss + shadowing + fading channel model.
+
+This is the "basic path loss - shadowing - fading model" of Section 2, in a
+form usable both by the analytical carrier-sense model (normalised units, fold
+transmit power into the noise floor) and by the packet simulator / synthetic
+testbed (physical units: dBm, metres).
+
+A :class:`ChannelModel` owns one shadowing value per ordered (or unordered)
+node pair so that repeated queries between the same pair are consistent over a
+simulation run, which is how real static shadowing behaves and what the
+testbed experiments require (a link's quality should not change between the
+probing phase and the measurement phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Tuple, Union
+
+import numpy as np
+
+from ..constants import (
+    DEFAULT_NOISE_FLOOR_DBM,
+    DEFAULT_TX_POWER_DBM,
+    FREQ_2_4_GHZ,
+)
+from ..units import db_to_linear
+from .fading import RayleighFading
+from .pathloss import LogDistancePathLoss, path_gain
+from .shadowing import ShadowingModel
+
+__all__ = ["NormalizedChannel", "ChannelModel", "LinkBudget"]
+
+PairKey = Tuple[Hashable, Hashable]
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Complete accounting of a single link power calculation (dB/dBm)."""
+
+    tx_power_dbm: float
+    path_loss_db: float
+    shadowing_db: float
+    fading_db: float
+    rx_power_dbm: float
+    noise_floor_dbm: float
+
+    @property
+    def snr_db(self) -> float:
+        return self.rx_power_dbm - self.noise_floor_dbm
+
+
+@dataclass
+class NormalizedChannel:
+    """Channel in the paper's normalised units (P0 folded into the noise term).
+
+    Received power from a node at distance ``r`` is ``r ** -alpha * L`` where
+    ``L`` is a lognormal shadowing gain; the noise floor is ``N = N0 / P0``.
+    """
+
+    alpha: float = 3.0
+    sigma_db: float = 0.0
+    noise: float = db_to_linear(-65.0)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("path-loss exponent must be positive")
+        if self.sigma_db < 0:
+            raise ValueError("shadowing sigma must be non-negative")
+        if self.noise <= 0:
+            raise ValueError("noise must be positive")
+        self._shadowing = ShadowingModel(self.sigma_db, rng=self.rng)
+
+    def received_power(self, distance: Union[float, np.ndarray], shadowing_gain=None):
+        """Normalised received power at the given distance(s).
+
+        ``shadowing_gain`` may be supplied explicitly (e.g. a pre-drawn Monte
+        Carlo sample); otherwise a fresh value is drawn when sigma > 0.
+        """
+        gain = path_gain(distance, self.alpha)
+        if shadowing_gain is None:
+            size = None if np.ndim(distance) == 0 else np.shape(distance)
+            shadowing_gain = self._shadowing.sample_linear(size)
+        return gain * shadowing_gain
+
+    def snr(self, distance, shadowing_gain=None, interference: float = 0.0):
+        """Signal-to-interference-plus-noise ratio at the given distance(s)."""
+        return self.received_power(distance, shadowing_gain) / (self.noise + interference)
+
+    def draw_shadowing(self, size=None):
+        """Draw lognormal shadowing gain(s) from this channel's distribution."""
+        return self._shadowing.sample_linear(size)
+
+
+@dataclass
+class ChannelModel:
+    """Physical-unit channel used by the simulator and synthetic testbed.
+
+    Combines log-distance path loss, per-pair static lognormal shadowing, and
+    optional per-packet Rayleigh fading residue.  Shadowing values are drawn
+    lazily per unordered node pair and cached, making links reciprocal (the
+    paper's Figure 14 fit assumes symmetric channels).
+    """
+
+    path_loss: LogDistancePathLoss = field(
+        default_factory=lambda: LogDistancePathLoss(alpha=3.5, frequency_hz=FREQ_2_4_GHZ)
+    )
+    sigma_db: float = 8.0
+    tx_power_dbm: float = DEFAULT_TX_POWER_DBM
+    noise_floor_dbm: float = DEFAULT_NOISE_FLOOR_DBM
+    fading_sigma_db: float = 0.0
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        if self.sigma_db < 0 or self.fading_sigma_db < 0:
+            raise ValueError("sigma values must be non-negative")
+        self._pair_shadowing_db: Dict[PairKey, float] = {}
+
+    # -- shadowing bookkeeping -------------------------------------------------
+
+    def _pair_key(self, a: Hashable, b: Hashable) -> PairKey:
+        return (a, b) if repr(a) <= repr(b) else (b, a)
+
+    def shadowing_db(self, a: Hashable, b: Hashable) -> float:
+        """Static shadowing value (dB) for the unordered pair ``(a, b)``."""
+        key = self._pair_key(a, b)
+        if key not in self._pair_shadowing_db:
+            if self.sigma_db == 0.0:
+                self._pair_shadowing_db[key] = 0.0
+            else:
+                self._pair_shadowing_db[key] = float(self.rng.normal(0.0, self.sigma_db))
+        return self._pair_shadowing_db[key]
+
+    def set_shadowing_db(self, a: Hashable, b: Hashable, value_db: float) -> None:
+        """Pin the shadowing value for a pair (used by tests and scenarios)."""
+        self._pair_shadowing_db[self._pair_key(a, b)] = float(value_db)
+
+    # -- link budget -----------------------------------------------------------
+
+    def link_budget(
+        self,
+        a: Hashable,
+        b: Hashable,
+        distance_m: float,
+        include_fading: bool = False,
+    ) -> LinkBudget:
+        """Full link budget from node ``a`` to node ``b`` at the given distance."""
+        if distance_m <= 0:
+            raise ValueError("distance must be strictly positive")
+        loss = float(self.path_loss.loss_db(distance_m))
+        shadow = self.shadowing_db(a, b)
+        fading = 0.0
+        if include_fading and self.fading_sigma_db > 0:
+            fading = float(self.rng.normal(0.0, self.fading_sigma_db))
+        rx = self.tx_power_dbm - loss + shadow + fading
+        return LinkBudget(
+            tx_power_dbm=self.tx_power_dbm,
+            path_loss_db=loss,
+            shadowing_db=shadow,
+            fading_db=fading,
+            rx_power_dbm=rx,
+            noise_floor_dbm=self.noise_floor_dbm,
+        )
+
+    def rx_power_dbm(self, a, b, distance_m: float, include_fading: bool = False) -> float:
+        """Received power (dBm) from ``a`` at ``b``."""
+        return self.link_budget(a, b, distance_m, include_fading).rx_power_dbm
+
+    def rx_power_mw(self, a, b, distance_m: float, include_fading: bool = False) -> float:
+        """Received power (milliwatts) from ``a`` at ``b``."""
+        return float(10.0 ** (self.rx_power_dbm(a, b, distance_m, include_fading) / 10.0))
+
+    @property
+    def noise_floor_mw(self) -> float:
+        """Noise floor expressed in milliwatts."""
+        return float(10.0 ** (self.noise_floor_dbm / 10.0))

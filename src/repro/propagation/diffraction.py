@@ -1,0 +1,85 @@
+"""Knife-edge diffraction.
+
+Section 3.4 argues that even an opaque barrier cannot hide one sender from
+another because diffraction around the edge still delivers a usable carrier
+sense signal; the paper quotes "around 30 dB" of knife-edge diffraction loss at
+2.4 GHz with a 5 m distance to the barrier.  This module implements the
+standard single knife-edge model (Fresnel-Kirchhoff parameter ``v`` plus the
+ITU-R P.526 approximation for the loss) so that claim can be checked
+numerically and used in the synthetic testbed's obstacle model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+from scipy.special import fresnel
+
+from ..constants import SPEED_OF_LIGHT
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = [
+    "fresnel_v",
+    "knife_edge_loss_db",
+    "knife_edge_loss_db_exact",
+]
+
+
+def fresnel_v(
+    obstacle_height_m: ArrayLike,
+    dist_tx_to_obstacle_m: float,
+    dist_obstacle_to_rx_m: float,
+    frequency_hz: float,
+) -> ArrayLike:
+    """Fresnel-Kirchhoff diffraction parameter ``v``.
+
+    ``obstacle_height_m`` is the height of the knife edge above the direct
+    line between transmitter and receiver (positive means the path is
+    blocked).
+    """
+    if dist_tx_to_obstacle_m <= 0 or dist_obstacle_to_rx_m <= 0:
+        raise ValueError("distances to the obstacle must be positive")
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    wavelength = SPEED_OF_LIGHT / frequency_hz
+    h = np.asarray(obstacle_height_m, dtype=float)
+    d1, d2 = dist_tx_to_obstacle_m, dist_obstacle_to_rx_m
+    v = h * math.sqrt(2.0 * (d1 + d2) / (wavelength * d1 * d2))
+    if np.ndim(obstacle_height_m) == 0:
+        return float(v)
+    return v
+
+
+def knife_edge_loss_db(v: ArrayLike) -> ArrayLike:
+    """ITU-R P.526 approximation of knife-edge diffraction loss (dB).
+
+    ``J(v) = 6.9 + 20 log10(sqrt((v - 0.1)^2 + 1) + v - 0.1)`` for
+    ``v > -0.78`` and 0 dB otherwise.  Loss is returned as a positive number.
+    """
+    varr = np.asarray(v, dtype=float)
+    shifted = varr - 0.1
+    loss = 6.9 + 20.0 * np.log10(np.sqrt(shifted**2 + 1.0) + shifted)
+    loss = np.where(varr > -0.78, loss, 0.0)
+    loss = np.maximum(loss, 0.0)
+    if np.ndim(v) == 0:
+        return float(loss)
+    return loss
+
+
+def knife_edge_loss_db_exact(v: ArrayLike) -> ArrayLike:
+    """Exact knife-edge loss from the complex Fresnel integral (dB)."""
+    varr = np.asarray(v, dtype=float)
+    s, c = fresnel(varr)
+    # Field relative to free space: F(v) = (1 + j)/2 * integral_v^inf e^{-j pi t^2 / 2} dt
+    real = 0.5 - c
+    imag = 0.5 - s
+    magnitude = np.sqrt((real**2 + imag**2) / 2.0)
+    with np.errstate(divide="ignore"):
+        loss = -20.0 * np.log10(magnitude)
+    loss = np.maximum(loss, 0.0)
+    if np.ndim(v) == 0:
+        return float(loss)
+    return loss

@@ -1,0 +1,86 @@
+"""Small-scale (multipath) fading models: Rayleigh and Rician.
+
+The paper mostly averages fading away because wideband (OFDM / DSSS) radios
+see only "a few dB" of residual variation, but the underlying distributions
+are implemented here both for completeness and so that the packet simulator
+can optionally apply narrowband-style fading to demonstrate the contrast the
+related-work section draws with older fixed-rate, narrowband hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RayleighFading", "RicianFading", "effective_wideband_sigma_db"]
+
+
+@dataclass
+class RayleighFading:
+    """Rayleigh fading: power gain is exponentially distributed with mean 1."""
+
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def sample_power_gain(self, size: int | tuple[int, ...] | None = None):
+        """Draw linear power gain(s); mean is 1 so path loss is unaffected."""
+        return self.rng.exponential(1.0, size=size)
+
+    def sample_amplitude(self, size: int | tuple[int, ...] | None = None):
+        """Draw amplitude gain(s), i.e. the square root of the power gain."""
+        return np.sqrt(self.sample_power_gain(size))
+
+    def outage_probability(self, margin_db: float) -> float:
+        """Probability that the faded power falls more than ``margin_db`` below mean."""
+        threshold = 10.0 ** (-margin_db / 10.0)
+        return float(1.0 - np.exp(-threshold))
+
+
+@dataclass
+class RicianFading:
+    """Rician fading with K-factor ``k`` (ratio of line-of-sight to scattered power)."""
+
+    k_factor: float = 3.0
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        if self.k_factor < 0:
+            raise ValueError("Rician K-factor must be non-negative")
+
+    def sample_power_gain(self, size: int | tuple[int, ...] | None = None):
+        """Draw linear power gain(s) with unit mean.
+
+        The complex channel is modelled as a fixed line-of-sight component plus
+        a circular Gaussian scatter component; ``k = 0`` degenerates to
+        Rayleigh fading.
+        """
+        k = self.k_factor
+        los = np.sqrt(k / (k + 1.0))
+        scatter_scale = np.sqrt(1.0 / (2.0 * (k + 1.0)))
+        shape = size if size is not None else ()
+        real = self.rng.normal(los, scatter_scale, size=shape)
+        imag = self.rng.normal(0.0, scatter_scale, size=shape)
+        gain = real**2 + imag**2
+        if size is None:
+            return float(gain)
+        return gain
+
+
+def effective_wideband_sigma_db(num_independent_taps: int) -> float:
+    """Residual fading variability (dB std-dev) after wideband averaging.
+
+    A wideband OFDM or RAKE receiver effectively averages power over roughly
+    ``num_independent_taps`` independently fading frequency bins / echoes.  The
+    averaged power is Gamma(n, 1/n) distributed; for even modest ``n`` the
+    standard deviation in dB falls to a few dB, which is why the paper folds
+    fading into shadowing.  This helper quantifies that statement.
+    """
+    if num_independent_taps < 1:
+        raise ValueError("need at least one tap")
+    n = int(num_independent_taps)
+    samples_mean = 1.0
+    variance = 1.0 / n
+    # Delta-method approximation for the std-dev of 10*log10(X) when X has
+    # mean 1 and the given variance (adequate for n >= 2).
+    sigma_db = 10.0 / np.log(10.0) * np.sqrt(variance) / samples_mean
+    return float(sigma_db)

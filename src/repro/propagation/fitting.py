@@ -1,0 +1,152 @@
+"""Maximum-likelihood fitting of the path-loss / shadowing model.
+
+The appendix (Figure 14) fits a combined power-law path loss + lognormal
+shadowing model to measured testbed RSSI values by maximum likelihood,
+"accounting for the invisibility of sub-threshold links": links whose received
+power falls below the radio's detection threshold never produce a measurement,
+so a naive least-squares fit is biased towards optimistic channels.  The
+censored-likelihood estimator implemented here handles that.
+
+Model
+-----
+For a link of distance ``d`` the received SNR in dB is
+
+    y = y0 - 10 * alpha * log10(d / d0) + X,     X ~ Normal(0, sigma^2)
+
+and the link is observed only if ``y >= detection_threshold_db``.  The fit
+estimates ``(alpha, sigma, y0)`` by maximising the censored log-likelihood
+over the observed links plus, optionally, the known-undetected links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize, stats
+
+__all__ = ["PropagationFit", "fit_path_loss_shadowing", "predict_rssi_db"]
+
+
+@dataclass(frozen=True)
+class PropagationFit:
+    """Result of a censored maximum-likelihood propagation fit."""
+
+    alpha: float
+    sigma_db: float
+    rssi0_db: float
+    reference_distance: float
+    log_likelihood: float
+    n_observed: int
+    n_censored: int
+
+    def predict_mean_db(self, distances) -> np.ndarray:
+        """Mean RSSI/SNR (dB) predicted at the given distances."""
+        return predict_rssi_db(distances, self.alpha, self.rssi0_db, self.reference_distance)
+
+    def prediction_interval_db(self, distances, n_sigma: float = 1.0):
+        """(low, high) bounds ``n_sigma`` standard deviations around the mean."""
+        mean = self.predict_mean_db(distances)
+        return mean - n_sigma * self.sigma_db, mean + n_sigma * self.sigma_db
+
+
+def predict_rssi_db(distances, alpha: float, rssi0_db: float, reference_distance: float = 20.0):
+    """Mean RSSI (dB) under the power-law model referenced at ``reference_distance``."""
+    d = np.asarray(distances, dtype=float)
+    if np.any(d <= 0):
+        raise ValueError("distances must be strictly positive")
+    return rssi0_db - 10.0 * alpha * np.log10(d / reference_distance)
+
+
+def fit_path_loss_shadowing(
+    distances: Sequence[float],
+    rssi_db: Sequence[float],
+    detection_threshold_db: float | None = None,
+    censored_distances: Sequence[float] | None = None,
+    reference_distance: float = 20.0,
+    initial_alpha: float = 3.0,
+    initial_sigma_db: float = 8.0,
+) -> PropagationFit:
+    """Fit ``(alpha, sigma, rssi0)`` to observed link measurements.
+
+    Parameters
+    ----------
+    distances, rssi_db:
+        Distances and measured RSSI/SNR (dB) of the *observed* links.
+    detection_threshold_db:
+        Minimum RSSI at which a link is detectable.  When provided, the
+        likelihood of each observed point is truncated at the threshold, and
+        any ``censored_distances`` contribute ``P(rssi < threshold)`` terms.
+    censored_distances:
+        Distances of links that were probed but produced no measurements
+        (known to be below the detection threshold).
+    reference_distance:
+        Distance at which ``rssi0_db`` is referenced (the paper uses R = 20).
+
+    Returns
+    -------
+    PropagationFit
+        The maximum-likelihood parameters and fit metadata.
+    """
+    d_obs = np.asarray(distances, dtype=float)
+    y_obs = np.asarray(rssi_db, dtype=float)
+    if d_obs.shape != y_obs.shape:
+        raise ValueError("distances and rssi_db must have the same shape")
+    if d_obs.size < 3:
+        raise ValueError("need at least three observed links to fit three parameters")
+    if np.any(d_obs <= 0):
+        raise ValueError("distances must be strictly positive")
+    d_cens = (
+        np.asarray(censored_distances, dtype=float)
+        if censored_distances is not None
+        else np.empty(0)
+    )
+    if d_cens.size and detection_threshold_db is None:
+        raise ValueError("censored distances require a detection threshold")
+
+    log_d = np.log10(d_obs / reference_distance)
+    log_d_cens = np.log10(d_cens / reference_distance) if d_cens.size else np.empty(0)
+
+    def negative_log_likelihood(params: np.ndarray) -> float:
+        alpha, log_sigma, rssi0 = params
+        sigma = np.exp(log_sigma)
+        mean_obs = rssi0 - 10.0 * alpha * log_d
+        z = (y_obs - mean_obs) / sigma
+        ll = np.sum(stats.norm.logpdf(z) - np.log(sigma))
+        if detection_threshold_db is not None:
+            if d_cens.size:
+                # Tobit-style censored likelihood: every probed-but-undetected
+                # link contributes P(rssi < threshold) at its distance.
+                mean_cens = rssi0 - 10.0 * alpha * log_d_cens
+                z_cens = (detection_threshold_db - mean_cens) / sigma
+                ll += np.sum(stats.norm.logcdf(z_cens))
+            else:
+                # Only the detected sample is known: use the truncated
+                # likelihood (condition each observation on being detectable).
+                z_thr = (detection_threshold_db - mean_obs) / sigma
+                ll -= np.sum(stats.norm.logsf(z_thr))
+        return -float(ll)
+
+    # Least-squares starting point for rssi0.
+    slope, intercept = np.polyfit(log_d, y_obs, 1)
+    x0 = np.array([max(-slope / 10.0, 1.0), np.log(initial_sigma_db), intercept])
+    if not np.isfinite(x0).all():
+        x0 = np.array([initial_alpha, np.log(initial_sigma_db), float(np.mean(y_obs))])
+
+    result = optimize.minimize(
+        negative_log_likelihood,
+        x0,
+        method="Nelder-Mead",
+        options={"maxiter": 20000, "xatol": 1e-6, "fatol": 1e-8},
+    )
+    alpha_hat, log_sigma_hat, rssi0_hat = result.x
+    return PropagationFit(
+        alpha=float(alpha_hat),
+        sigma_db=float(np.exp(log_sigma_hat)),
+        rssi0_db=float(rssi0_hat),
+        reference_distance=float(reference_distance),
+        log_likelihood=-float(result.fun),
+        n_observed=int(d_obs.size),
+        n_censored=int(d_cens.size),
+    )

@@ -1,0 +1,139 @@
+"""Power-law path loss models.
+
+The paper's analytical model (Section 2 and the appendix) uses the standard
+log-distance path-loss model: received power decays as ``d ** -alpha`` with
+``alpha`` typically between 2 (free space) and 4 (heavily obstructed indoor /
+two-ray ground).  Two interfaces are provided:
+
+* the *normalised* form used by the analytical carrier-sense model, where the
+  transmit power at unit distance has been folded into the noise floor and the
+  gain is simply ``r ** -alpha``; and
+* a *physical* form in dB, referenced to a path loss ``PL(d0)`` at a reference
+  distance, used by the packet simulator and the testbed substrate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..constants import SPEED_OF_LIGHT
+from ..units import linear_to_db
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = [
+    "path_gain",
+    "path_loss_db",
+    "free_space_path_loss_db",
+    "LogDistancePathLoss",
+]
+
+
+def path_gain(distance: ArrayLike, alpha: float) -> ArrayLike:
+    """Normalised path gain ``r ** -alpha`` used by the analytical model.
+
+    Parameters
+    ----------
+    distance:
+        Separation in the paper's normalised distance units.  Must be > 0
+        (the model's singularity at r = 0 is "of little practical
+        significance"; callers are expected to avoid it).
+    alpha:
+        Path-loss exponent.
+    """
+    if alpha <= 0:
+        raise ValueError(f"path-loss exponent must be positive, got {alpha}")
+    d = np.asarray(distance, dtype=float)
+    if np.any(d <= 0):
+        raise ValueError("distance must be strictly positive")
+    result = np.power(d, -alpha)
+    if np.ndim(distance) == 0:
+        return float(result)
+    return result
+
+
+def path_loss_db(distance: ArrayLike, alpha: float) -> ArrayLike:
+    """Path loss in dB relative to unit distance: ``10 * alpha * log10(d)``."""
+    if alpha <= 0:
+        raise ValueError(f"path-loss exponent must be positive, got {alpha}")
+    d = np.asarray(distance, dtype=float)
+    if np.any(d <= 0):
+        raise ValueError("distance must be strictly positive")
+    result = 10.0 * alpha * np.log10(d)
+    if np.ndim(distance) == 0:
+        return float(result)
+    return result
+
+
+def free_space_path_loss_db(distance_m: ArrayLike, frequency_hz: float) -> ArrayLike:
+    """Free-space path loss (Friis) in dB for a physical distance in metres."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    d = np.asarray(distance_m, dtype=float)
+    if np.any(d <= 0):
+        raise ValueError("distance must be strictly positive")
+    wavelength = SPEED_OF_LIGHT / frequency_hz
+    result = 20.0 * np.log10(4.0 * math.pi * d / wavelength)
+    if np.ndim(distance_m) == 0:
+        return float(result)
+    return result
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss:
+    """Log-distance path-loss model referenced to a physical distance.
+
+    ``PL(d) = PL(d0) + 10 * alpha * log10(d / d0)`` in dB.
+
+    The reference loss defaults to free-space loss at ``d0`` for the given
+    carrier frequency, which is the conventional choice for indoor models such
+    as ITU-R P.1238.
+    """
+
+    alpha: float
+    frequency_hz: float
+    reference_distance_m: float = 1.0
+    reference_loss_db: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("path-loss exponent must be positive")
+        if self.reference_distance_m <= 0:
+            raise ValueError("reference distance must be positive")
+        if self.reference_loss_db is None:
+            ref = free_space_path_loss_db(self.reference_distance_m, self.frequency_hz)
+            object.__setattr__(self, "reference_loss_db", float(ref))
+
+    def loss_db(self, distance_m: ArrayLike) -> ArrayLike:
+        """Total path loss in dB at the given physical distance(s)."""
+        d = np.asarray(distance_m, dtype=float)
+        if np.any(d <= 0):
+            raise ValueError("distance must be strictly positive")
+        result = self.reference_loss_db + 10.0 * self.alpha * np.log10(
+            d / self.reference_distance_m
+        )
+        if np.ndim(distance_m) == 0:
+            return float(result)
+        return result
+
+    def received_power_dbm(self, tx_power_dbm: float, distance_m: ArrayLike) -> ArrayLike:
+        """Received power in dBm given a transmit power and distance."""
+        loss = self.loss_db(distance_m)
+        return tx_power_dbm - loss
+
+    def gain_linear(self, distance_m: ArrayLike) -> ArrayLike:
+        """Linear channel power gain (always <= 1 for sensible parameters)."""
+        loss = np.asarray(self.loss_db(distance_m), dtype=float)
+        result = np.power(10.0, -loss / 10.0)
+        if np.ndim(distance_m) == 0:
+            return float(result)
+        return result
+
+    def distance_for_loss(self, loss_db: float) -> float:
+        """Invert the model: distance (m) at which the given loss occurs."""
+        exponent = (loss_db - self.reference_loss_db) / (10.0 * self.alpha)
+        return self.reference_distance_m * 10.0 ** exponent

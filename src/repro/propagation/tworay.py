@@ -1,0 +1,98 @@
+"""Two-ray ground-reflection propagation model.
+
+The appendix discusses the classic two-ray model -- direct path plus a
+ground-reflected path with an approximately inverted phase -- as the textbook
+origin of fourth-power distance decay.  The exact interference expression and
+its large-distance approximation are both provided; the tests verify that the
+exact model converges to the ``d ** -4`` law beyond the crossover distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..constants import SPEED_OF_LIGHT
+from ..units import linear_to_db
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = ["TwoRayGroundModel"]
+
+
+@dataclass(frozen=True)
+class TwoRayGroundModel:
+    """Two-ray model over a flat, perfectly reflecting ground plane.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Carrier frequency.
+    tx_height_m, rx_height_m:
+        Antenna heights above the ground plane.
+    reflection_coefficient:
+        Amplitude reflection coefficient of the ground; -1 models the ideal
+        phase-inverting reflection assumed in the textbook derivation.
+    """
+
+    frequency_hz: float
+    tx_height_m: float = 1.5
+    rx_height_m: float = 1.5
+    reflection_coefficient: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.tx_height_m <= 0 or self.rx_height_m <= 0:
+            raise ValueError("antenna heights must be positive")
+
+    @property
+    def wavelength_m(self) -> float:
+        return SPEED_OF_LIGHT / self.frequency_hz
+
+    @property
+    def crossover_distance_m(self) -> float:
+        """Distance beyond which the ``d ** -4`` approximation is accurate."""
+        return 4.0 * math.pi * self.tx_height_m * self.rx_height_m / self.wavelength_m
+
+    def gain_exact(self, distance_m: ArrayLike) -> ArrayLike:
+        """Exact two-ray linear power gain (relative to isotropic antennas)."""
+        d = np.asarray(distance_m, dtype=float)
+        if np.any(d <= 0):
+            raise ValueError("distance must be strictly positive")
+        ht, hr = self.tx_height_m, self.rx_height_m
+        d_direct = np.sqrt(d**2 + (ht - hr) ** 2)
+        d_reflect = np.sqrt(d**2 + (ht + hr) ** 2)
+        k = 2.0 * math.pi / self.wavelength_m
+        lam = self.wavelength_m
+        direct = (lam / (4.0 * math.pi * d_direct)) * np.exp(-1j * k * d_direct)
+        reflected = (
+            self.reflection_coefficient
+            * (lam / (4.0 * math.pi * d_reflect))
+            * np.exp(-1j * k * d_reflect)
+        )
+        gain = np.abs(direct + reflected) ** 2
+        if np.ndim(distance_m) == 0:
+            return float(gain)
+        return gain
+
+    def gain_far_field(self, distance_m: ArrayLike) -> ArrayLike:
+        """Fourth-power-law approximation valid beyond the crossover distance."""
+        d = np.asarray(distance_m, dtype=float)
+        if np.any(d <= 0):
+            raise ValueError("distance must be strictly positive")
+        gain = (self.tx_height_m * self.rx_height_m) ** 2 / d**4
+        if np.ndim(distance_m) == 0:
+            return float(gain)
+        return gain
+
+    def loss_db_exact(self, distance_m: ArrayLike) -> ArrayLike:
+        """Exact path loss in dB (positive numbers)."""
+        return -np.asarray(linear_to_db(self.gain_exact(distance_m)))
+
+    def loss_db_far_field(self, distance_m: ArrayLike) -> ArrayLike:
+        """Approximate path loss in dB (positive numbers)."""
+        return -np.asarray(linear_to_db(self.gain_far_field(distance_m)))

@@ -1,0 +1,47 @@
+"""Packet-level discrete-event wireless simulator.
+
+This package is the substrate standing in for the paper's Atheros/Soekris
+802.11a testbed: a discrete-event engine, a propagation-aware shared medium,
+half-duplex radios with configurable clear-channel assessment, CSMA/CA and
+TDMA MACs, SINR-based frame reception, traffic sources, and measurement
+helpers.  The synthetic testbed (:mod:`repro.testbed`) builds its Section 4
+experiment protocol on top of :class:`WirelessNetwork`.
+"""
+
+from .engine import EventHandle, Simulator
+from .frames import BROADCAST, Frame, FrameKind
+from .mac import CsmaMac, MacBase, MacStats, TdmaMac, TdmaSchedule
+from .medium import Medium, Transmission
+from .network import RunResult, WirelessNetwork
+from .node import Node
+from .phy import ReceptionModel, ReceptionOutcome
+from .radio import Radio, RadioStats
+from .stats import LinkThroughput, NodeStats
+from .traffic import PoissonTraffic, SaturatedTraffic, TrafficSource
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Frame",
+    "FrameKind",
+    "BROADCAST",
+    "Medium",
+    "Transmission",
+    "Radio",
+    "RadioStats",
+    "ReceptionModel",
+    "ReceptionOutcome",
+    "MacBase",
+    "MacStats",
+    "CsmaMac",
+    "TdmaMac",
+    "TdmaSchedule",
+    "Node",
+    "NodeStats",
+    "LinkThroughput",
+    "TrafficSource",
+    "SaturatedTraffic",
+    "PoissonTraffic",
+    "WirelessNetwork",
+    "RunResult",
+]

@@ -1,0 +1,82 @@
+"""Frame definitions for the packet-level simulator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..capacity.rates import RateInfo, frame_airtime_s
+
+__all__ = ["FrameKind", "Frame", "BROADCAST"]
+
+#: Destination address meaning "all stations" (the Section 4 experiments use
+#: broadcast data frames, which are never acknowledged).
+BROADCAST = "*"
+
+_frame_ids = itertools.count()
+
+
+class FrameKind(Enum):
+    """The 802.11 frame types the simulator models."""
+
+    DATA = "data"
+    ACK = "ack"
+    RTS = "rts"
+    CTS = "cts"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """An on-air frame.
+
+    Attributes
+    ----------
+    kind:
+        Data, ACK, RTS, or CTS.
+    src, dst:
+        Node identifiers; ``dst`` may be :data:`BROADCAST`.
+    payload_bytes:
+        MAC payload size (0 for control frames).
+    rate:
+        PHY rate used for the frame.
+    sequence:
+        Per-sender sequence number (used by receivers to count deliveries and
+        detect retransmissions).
+    frame_id:
+        Globally unique identifier.
+    retry:
+        Retry count of this transmission attempt.
+    """
+
+    kind: FrameKind
+    src: object
+    dst: object
+    payload_bytes: int
+    rate: RateInfo
+    sequence: int = 0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    retry: int = 0
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst == BROADCAST
+
+    @property
+    def airtime_s(self) -> float:
+        """On-air duration of this frame at its PHY rate."""
+        include_header = self.kind == FrameKind.DATA
+        return frame_airtime_s(self.payload_bytes, self.rate, include_mac_header=include_header)
+
+    def as_retry(self) -> "Frame":
+        """A copy of the frame with the retry counter incremented."""
+        return Frame(
+            kind=self.kind,
+            src=self.src,
+            dst=self.dst,
+            payload_bytes=self.payload_bytes,
+            rate=self.rate,
+            sequence=self.sequence,
+            retry=self.retry + 1,
+        )

@@ -1,0 +1,7 @@
+"""MAC protocol implementations for the packet-level simulator."""
+
+from .base import MacBase, MacStats
+from .csma import CsmaMac
+from .tdma import TdmaMac, TdmaSchedule
+
+__all__ = ["MacBase", "MacStats", "CsmaMac", "TdmaMac", "TdmaSchedule"]

@@ -1,0 +1,102 @@
+"""MAC protocol interface.
+
+A MAC drives one node's radio: it decides *when* to transmit the packets the
+node's traffic source provides, reacts to channel busy/idle transitions, and
+handles received frames.  Concrete implementations:
+
+* :class:`repro.simulation.mac.csma.CsmaMac` -- CSMA/CA with a configurable
+  CCA threshold (set the threshold to ``None`` for the "carrier sense
+  disabled" concurrency mode of the Section 4 experiments), optional
+  ACK/retry, and optional RTS/CTS protection.
+* :class:`repro.simulation.mac.tdma.TdmaMac` -- ideal slotted time-division
+  multiplexing driven by a global schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional
+
+import numpy as np
+
+from ...capacity.adaptation import RateSelector
+from ..engine import Simulator
+from ..frames import Frame
+from ..phy import ReceptionOutcome
+from ..radio import Radio
+
+__all__ = ["MacBase", "MacStats"]
+
+
+class MacStats:
+    """Counters every MAC keeps, shared across implementations."""
+
+    def __init__(self) -> None:
+        self.data_frames_sent = 0
+        self.data_frames_delivered = 0
+        self.acks_sent = 0
+        self.acks_received = 0
+        self.retries = 0
+        self.drops = 0
+        self.rx_data_frames = 0
+        self.rx_failed_frames = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class MacBase:
+    """Common wiring between a MAC, its radio, and its traffic source."""
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        sim: Simulator,
+        radio: Radio,
+        rate_selector: RateSelector,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.radio = radio
+        self.rate_selector = rate_selector
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.stats = MacStats()
+        self.traffic = None  # set by Node
+        self._sequence = 0
+
+        # Observers (e.g. node-level stats) may hook this to see every
+        # successfully received data frame.
+        self.on_data_received: Callable[[Frame], None] = lambda frame: None
+
+        radio.on_channel_busy = self._on_channel_busy
+        radio.on_channel_idle = self._on_channel_idle
+        radio.on_frame_received = self._on_frame_received
+        radio.on_transmit_complete = self._on_transmit_complete
+
+    # -- to be provided by subclasses ------------------------------------------
+
+    def start(self) -> None:
+        """Begin operation (called once when the network starts)."""
+        raise NotImplementedError
+
+    def _on_channel_busy(self) -> None:
+        raise NotImplementedError
+
+    def _on_channel_idle(self) -> None:
+        raise NotImplementedError
+
+    def _on_frame_received(self, outcome: ReceptionOutcome) -> None:
+        raise NotImplementedError
+
+    def _on_transmit_complete(self, frame: Frame) -> None:
+        raise NotImplementedError
+
+    # -- helpers ----------------------------------------------------------------
+
+    def next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    def attach_traffic(self, traffic) -> None:
+        """Connect the node's traffic source (called by Node)."""
+        self.traffic = traffic

@@ -1,0 +1,411 @@
+"""CSMA/CA MAC with configurable clear-channel assessment.
+
+This is the workhorse MAC of the reproduction.  It implements the DCF-style
+access procedure used by 802.11:
+
+1. wait for the channel to be idle for a DIFS;
+2. count down a random backoff drawn from ``[0, CW]`` slots, freezing the
+   countdown whenever the channel goes busy (and repeating the DIFS wait);
+3. transmit the frame.
+
+Behavioural switches reproduce the three Section 4 measurement modes:
+
+* ``cca_threshold_dbm=<power>`` on the radio -- normal carrier sense;
+* ``cca_threshold_dbm=None`` -- carrier sense disabled (the paper's
+  "concurrency" runs): the channel always looks idle, so senders blast away
+  regardless of each other;
+* running a single sender alone -- the "multiplexing" runs (the testbed
+  harness handles this; no MAC switch needed).
+
+Optionally the MAC supports unicast operation with ACKs, retries with binary
+exponential backoff, and RTS/CTS protection (``use_rts_cts=True``), which the
+paper discusses as the classic heavyweight fix for hidden terminals.
+Broadcast frames are never acknowledged or retried, exactly like 802.11 and
+like the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Optional
+
+import numpy as np
+
+from ...capacity.adaptation import RateSelector
+from ...capacity.rates import (
+    ACK_BYTES,
+    CW_MAX,
+    CW_MIN,
+    DIFS_S,
+    SIFS_S,
+    SLOT_TIME_S,
+    OFDM_RATES,
+    RateInfo,
+)
+from ..engine import EventHandle, Simulator
+from ..frames import BROADCAST, Frame, FrameKind
+from ..phy import ReceptionOutcome
+from ..radio import Radio
+from .base import MacBase
+
+__all__ = ["CsmaMac"]
+
+_RTS_BYTES = 20
+_CTS_BYTES = 14
+
+
+class CsmaMac(MacBase):
+    """CSMA/CA (DCF) medium access with optional ACKs and RTS/CTS."""
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        sim: Simulator,
+        radio: Radio,
+        rate_selector: RateSelector,
+        rng: Optional[np.random.Generator] = None,
+        use_acks: bool = False,
+        use_rts_cts: bool = False,
+        cw_min: int = CW_MIN,
+        cw_max: int = CW_MAX,
+        retry_limit: int = 7,
+        difs_s: float = DIFS_S,
+        sifs_s: float = SIFS_S,
+        slot_s: float = SLOT_TIME_S,
+        control_rate: RateInfo = OFDM_RATES[0],
+    ) -> None:
+        super().__init__(node_id, sim, radio, rate_selector, rng)
+        if cw_min < 1 or cw_max < cw_min:
+            raise ValueError("need 1 <= cw_min <= cw_max")
+        if retry_limit < 0:
+            raise ValueError("retry limit must be non-negative")
+        self.use_acks = use_acks
+        self.use_rts_cts = use_rts_cts
+        self.cw_min = cw_min
+        self.cw_max = cw_max
+        self.retry_limit = retry_limit
+        self.difs_s = difs_s
+        self.sifs_s = sifs_s
+        self.slot_s = slot_s
+        self.control_rate = control_rate
+
+        self._cw = cw_min
+        self._pending: Optional[Frame] = None
+        self._backoff_slots_remaining: Optional[int] = None
+        self._timer: Optional[EventHandle] = None
+        self._backoff_started_at: Optional[float] = None
+        self._state = "idle"
+        self._awaiting_ack_for: Optional[Frame] = None
+        self._awaiting_cts_for: Optional[Frame] = None
+        self._nav_until = 0.0
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Kick off the access procedure for the first queued packet."""
+        self._load_next_frame()
+        if self._pending is not None:
+            self._begin_access()
+
+    def _load_next_frame(self) -> None:
+        if self.traffic is None:
+            self._pending = None
+            return
+        packet = self.traffic.next_packet()
+        if packet is None:
+            self._pending = None
+            return
+        dst, payload_bytes = packet
+        rate = self.rate_selector.select((self.node_id, dst))
+        self._pending = Frame(
+            kind=FrameKind.DATA,
+            src=self.node_id,
+            dst=dst,
+            payload_bytes=payload_bytes,
+            rate=rate,
+            sequence=self.next_sequence(),
+        )
+
+    # ------------------------------------------------------------------ access
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _begin_access(self) -> None:
+        """Start (or restart) the DIFS + backoff procedure for the pending frame."""
+        if self._pending is None:
+            self._state = "idle"
+            return
+        if self._backoff_slots_remaining is None:
+            self._backoff_slots_remaining = int(self.rng.integers(0, self._cw + 1))
+        if self.radio.channel_busy() or self.sim.now < self._nav_until:
+            self._state = "wait_idle"
+            if self.sim.now < self._nav_until:
+                self._timer = self.sim.schedule_at(self._nav_until, self._nav_expired)
+            return
+        self._start_difs()
+
+    def _nav_expired(self) -> None:
+        self._timer = None
+        if self._state == "wait_idle":
+            self._begin_access()
+
+    def _start_difs(self) -> None:
+        self._state = "difs"
+        self._cancel_timer()
+        self._timer = self.sim.schedule(self.difs_s, self._difs_elapsed)
+
+    def _difs_elapsed(self) -> None:
+        self._timer = None
+        if self._state != "difs":
+            return
+        self._start_backoff()
+
+    def _start_backoff(self) -> None:
+        self._state = "backoff"
+        slots = self._backoff_slots_remaining or 0
+        if slots <= 0:
+            self._transmit_pending()
+            return
+        self._backoff_started_at = self.sim.now
+        self._timer = self.sim.schedule(slots * self.slot_s, self._backoff_elapsed)
+
+    def _backoff_elapsed(self) -> None:
+        self._timer = None
+        if self._state != "backoff":
+            return
+        self._backoff_slots_remaining = 0
+        self._transmit_pending()
+
+    def _freeze_backoff(self) -> None:
+        """Channel went busy mid-countdown: remember how many slots remain."""
+        if self._backoff_started_at is None or self._backoff_slots_remaining is None:
+            return
+        elapsed_slots = int(math.floor((self.sim.now - self._backoff_started_at) / self.slot_s))
+        self._backoff_slots_remaining = max(self._backoff_slots_remaining - elapsed_slots, 1)
+        self._backoff_started_at = None
+
+    def _transmit_pending(self) -> None:
+        if self._pending is None:
+            self._state = "idle"
+            return
+        if self.use_rts_cts and not self._pending.is_broadcast:
+            self._send_rts()
+            return
+        self._send_data()
+
+    def _send_data(self) -> None:
+        frame = self._pending
+        self._state = "transmitting"
+        self.stats.data_frames_sent += 1
+        self.radio.transmit(frame)
+
+    # ------------------------------------------------------------------ RTS/CTS
+
+    def _send_rts(self) -> None:
+        frame = self._pending
+        rts = Frame(
+            kind=FrameKind.RTS,
+            src=self.node_id,
+            dst=frame.dst,
+            payload_bytes=_RTS_BYTES,
+            rate=self.control_rate,
+            sequence=frame.sequence,
+        )
+        self._awaiting_cts_for = frame
+        self._state = "transmitting_rts"
+        self.radio.transmit(rts)
+
+    def _cts_timeout(self) -> None:
+        self._timer = None
+        if self._awaiting_cts_for is None:
+            return
+        self._awaiting_cts_for = None
+        self._handle_failed_attempt()
+
+    # ------------------------------------------------------------------ radio events
+
+    def _on_channel_busy(self) -> None:
+        if self._state == "difs":
+            self._cancel_timer()
+            self._state = "wait_idle"
+        elif self._state == "backoff":
+            self._cancel_timer()
+            self._freeze_backoff()
+            self._state = "wait_idle"
+
+    def _on_channel_idle(self) -> None:
+        if self._state == "wait_idle":
+            self._begin_access()
+
+    def _on_transmit_complete(self, frame: Frame) -> None:
+        if frame.kind == FrameKind.DATA:
+            if frame.is_broadcast or not self.use_acks:
+                # Fire-and-forget traffic gives the adapter no better feedback
+                # than "the frame went out"; acknowledged traffic reports on
+                # ACK arrival or timeout instead.
+                self.rate_selector.report(
+                    (self.node_id, frame.dst), frame.rate, True, frame.airtime_s
+                )
+            if self.use_acks and not frame.is_broadcast:
+                self._state = "wait_ack"
+                self._awaiting_ack_for = frame
+                timeout = self.sifs_s + 2 * self.slot_s + Frame(
+                    kind=FrameKind.ACK,
+                    src=frame.dst,
+                    dst=self.node_id,
+                    payload_bytes=ACK_BYTES,
+                    rate=self.control_rate,
+                ).airtime_s
+                self._timer = self.sim.schedule(timeout, self._ack_timeout)
+                return
+            # Broadcast (or unacknowledged) delivery is fire-and-forget.
+            self.stats.data_frames_delivered += 1
+            if self.traffic is not None:
+                self.traffic.notify_sent(frame)
+            self._advance_after_success()
+        elif frame.kind == FrameKind.RTS:
+            timeout = self.sifs_s + 2 * self.slot_s + Frame(
+                kind=FrameKind.CTS,
+                src=frame.dst,
+                dst=self.node_id,
+                payload_bytes=_CTS_BYTES,
+                rate=self.control_rate,
+            ).airtime_s
+            self._state = "wait_cts"
+            self._timer = self.sim.schedule(timeout, self._cts_timeout)
+        elif frame.kind in (FrameKind.ACK, FrameKind.CTS):
+            # Control responses need no follow-up; resume whatever was pending.
+            if self._pending is not None and self._state == "responding":
+                self._begin_access()
+            elif self._pending is None:
+                self._state = "idle"
+
+    def _on_frame_received(self, outcome: ReceptionOutcome) -> None:
+        frame = outcome.frame
+        if not outcome.success:
+            self.stats.rx_failed_frames += 1
+            return
+        if frame.kind == FrameKind.DATA:
+            if frame.dst in (self.node_id, BROADCAST):
+                self.stats.rx_data_frames += 1
+                self.on_data_received(frame)
+                if self.use_acks and frame.dst == self.node_id:
+                    self._schedule_ack(frame)
+        elif frame.kind == FrameKind.ACK:
+            if frame.dst == self.node_id and self._awaiting_ack_for is not None:
+                self._cancel_timer()
+                self.stats.acks_received += 1
+                self.stats.data_frames_delivered += 1
+                delivered = self._awaiting_ack_for
+                self._awaiting_ack_for = None
+                self.rate_selector.report(
+                    (self.node_id, delivered.dst), delivered.rate, True, delivered.airtime_s
+                )
+                if self.traffic is not None:
+                    self.traffic.notify_sent(delivered)
+                self._cw = self.cw_min
+                self._advance_after_success()
+        elif frame.kind == FrameKind.RTS:
+            if frame.dst == self.node_id:
+                self._schedule_cts(frame)
+            else:
+                self._set_nav(frame)
+        elif frame.kind == FrameKind.CTS:
+            if frame.dst == self.node_id and self._awaiting_cts_for is not None:
+                self._cancel_timer()
+                self._awaiting_cts_for = None
+                self._state = "sifs_before_data"
+                self._timer = self.sim.schedule(self.sifs_s, self._send_data)
+            else:
+                self._set_nav(frame)
+
+    # ------------------------------------------------------------------ responses
+
+    def _schedule_ack(self, data_frame: Frame) -> None:
+        def send_ack() -> None:
+            if self.radio.is_transmitting:
+                return
+            ack = Frame(
+                kind=FrameKind.ACK,
+                src=self.node_id,
+                dst=data_frame.src,
+                payload_bytes=ACK_BYTES,
+                rate=self.control_rate,
+                sequence=data_frame.sequence,
+            )
+            self.stats.acks_sent += 1
+            previous_state = self._state
+            if previous_state in ("idle", "wait_idle", "difs", "backoff"):
+                self._cancel_timer()
+                self._state = "responding"
+            self.radio.transmit(ack)
+
+        self.sim.schedule(self.sifs_s, send_ack)
+
+    def _schedule_cts(self, rts_frame: Frame) -> None:
+        def send_cts() -> None:
+            if self.radio.is_transmitting:
+                return
+            cts = Frame(
+                kind=FrameKind.CTS,
+                src=self.node_id,
+                dst=rts_frame.src,
+                payload_bytes=_CTS_BYTES,
+                rate=self.control_rate,
+                sequence=rts_frame.sequence,
+            )
+            previous_state = self._state
+            if previous_state in ("idle", "wait_idle", "difs", "backoff"):
+                self._cancel_timer()
+                self._state = "responding"
+            self.radio.transmit(cts)
+
+        self.sim.schedule(self.sifs_s, send_cts)
+
+    def _set_nav(self, frame: Frame) -> None:
+        """Virtual carrier sense: defer for a conservative exchange duration."""
+        reservation = self.sifs_s * 3 + 3 * frame.airtime_s + 2e-3
+        self._nav_until = max(self._nav_until, self.sim.now + reservation)
+
+    # ------------------------------------------------------------------ retry / advance
+
+    def _ack_timeout(self) -> None:
+        self._timer = None
+        if self._awaiting_ack_for is None:
+            return
+        frame = self._awaiting_ack_for
+        self._awaiting_ack_for = None
+        self.rate_selector.report((self.node_id, frame.dst), frame.rate, False, frame.airtime_s)
+        self._handle_failed_attempt()
+
+    def _handle_failed_attempt(self) -> None:
+        frame = self._pending
+        if frame is None:
+            self._state = "idle"
+            return
+        if frame.retry >= self.retry_limit:
+            self.stats.drops += 1
+            self._cw = self.cw_min
+            if self.traffic is not None:
+                self.traffic.notify_sent(frame)
+            self._load_next_frame()
+        else:
+            self.stats.retries += 1
+            self._cw = min(2 * self._cw + 1, self.cw_max)
+            self._pending = frame.as_retry()
+        self._backoff_slots_remaining = None
+        if self._pending is not None:
+            self._begin_access()
+        else:
+            self._state = "idle"
+
+    def _advance_after_success(self) -> None:
+        self._load_next_frame()
+        self._backoff_slots_remaining = None
+        if self._pending is not None:
+            self._begin_access()
+        else:
+            self._state = "idle"

@@ -1,0 +1,145 @@
+"""The shared wireless medium.
+
+The medium knows every node's position and the channel model, and it is the
+single place where transmissions are turned into received powers at every
+other radio.  Starting a transmission registers it with all radios (each sees
+its own received power); the end of the transmission is scheduled on the
+event engine, at which point each radio finalises reception or interference
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from ..propagation.channel import ChannelModel
+from .engine import Simulator
+from .frames import Frame
+
+__all__ = ["Transmission", "Medium"]
+
+_transmission_ids = itertools.count()
+
+Position = Tuple[float, float]
+
+
+@dataclass
+class Transmission:
+    """One in-flight frame on the medium."""
+
+    frame: Frame
+    src: Hashable
+    start_time: float
+    end_time: float
+    tx_id: int = field(default_factory=lambda: next(_transmission_ids))
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+class Medium:
+    """Propagation-aware broadcast medium connecting all radios.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event engine.
+    channel:
+        Physical channel model (path loss + per-pair shadowing).
+    min_distance_m:
+        Pairs closer than this are clamped to it, avoiding unphysical powers
+        when two nodes are placed (nearly) on top of each other.
+    """
+
+    def __init__(self, sim: Simulator, channel: ChannelModel, min_distance_m: float = 0.5) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.min_distance_m = min_distance_m
+        self._positions: Dict[Hashable, Position] = {}
+        self._radios: Dict[Hashable, "Radio"] = {}
+        self._rx_power_cache: Dict[Tuple[Hashable, Hashable], float] = {}
+        self.active_transmissions: Dict[int, Transmission] = {}
+
+    # -- topology ---------------------------------------------------------------
+
+    def register(self, node_id: Hashable, position: Position, radio: "Radio") -> None:
+        """Add a node's radio to the medium at the given position."""
+        if node_id in self._radios:
+            raise ValueError(f"node {node_id!r} is already registered")
+        self._positions[node_id] = (float(position[0]), float(position[1]))
+        self._radios[node_id] = radio
+
+    @property
+    def node_ids(self) -> list:
+        return list(self._radios)
+
+    def position(self, node_id: Hashable) -> Position:
+        return self._positions[node_id]
+
+    def radio(self, node_id: Hashable) -> "Radio":
+        return self._radios[node_id]
+
+    def distance(self, a: Hashable, b: Hashable) -> float:
+        """Euclidean distance between two nodes, clamped at ``min_distance_m``."""
+        ax, ay = self._positions[a]
+        bx, by = self._positions[b]
+        return max(float(np.hypot(ax - bx, ay - by)), self.min_distance_m)
+
+    def rx_power_dbm(self, src: Hashable, dst: Hashable) -> float:
+        """Static received power (dBm) from ``src`` at ``dst`` (cached)."""
+        key = (src, dst)
+        if key not in self._rx_power_cache:
+            budget = self.channel.link_budget(src, dst, self.distance(src, dst))
+            self._rx_power_cache[key] = budget.rx_power_dbm
+        return self._rx_power_cache[key]
+
+    def rx_power_mw(self, src: Hashable, dst: Hashable) -> float:
+        """Static received power (milliwatts) from ``src`` at ``dst``."""
+        return float(10.0 ** (self.rx_power_dbm(src, dst) / 10.0))
+
+    def snr_db(self, src: Hashable, dst: Hashable) -> float:
+        """Interference-free SNR (dB) of the ``src -> dst`` link."""
+        return self.rx_power_dbm(src, dst) - self.channel.noise_floor_dbm
+
+    @property
+    def noise_floor_mw(self) -> float:
+        return self.channel.noise_floor_mw
+
+    # -- transmission lifecycle ---------------------------------------------------
+
+    def start_transmission(self, src: Hashable, frame: Frame) -> Transmission:
+        """Put a frame on the air from ``src``; returns the transmission record."""
+        if src not in self._radios:
+            raise KeyError(f"unknown source node {src!r}")
+        duration = frame.airtime_s
+        tx = Transmission(
+            frame=frame, src=src, start_time=self.sim.now, end_time=self.sim.now + duration
+        )
+        self.active_transmissions[tx.tx_id] = tx
+        for node_id, radio in self._radios.items():
+            if node_id == src:
+                continue
+            power_mw = self.rx_power_mw(src, node_id)
+            radio.incoming_started(tx, power_mw)
+        self.sim.schedule(duration, lambda: self._finish_transmission(tx))
+        return tx
+
+    def _finish_transmission(self, tx: Transmission) -> None:
+        del self.active_transmissions[tx.tx_id]
+        for node_id, radio in self._radios.items():
+            if node_id == tx.src:
+                continue
+            radio.incoming_ended(tx)
+        self._radios[tx.src].transmit_finished(tx)
+
+    def busy_fraction_estimate(self) -> float:
+        """Fraction of radios currently observing an active transmission."""
+        if not self._radios:
+            return 0.0
+        busy = sum(1 for radio in self._radios.values() if radio.incoming_count > 0)
+        return busy / len(self._radios)

@@ -1,0 +1,184 @@
+"""High-level network builder and run harness.
+
+:class:`WirelessNetwork` ties the simulator pieces together: it owns the
+event engine, the medium (with a physical channel model), and the nodes, and
+provides the measurement loop the testbed experiments need (run for a fixed
+duration, then read per-link delivered packet counts).
+
+Typical use::
+
+    net = WirelessNetwork(channel=ChannelModel(...), seed=1)
+    net.add_node("S1", (0, 0), mac="csma", traffic=SaturatedTraffic("R1"), rate_mbps=12)
+    net.add_node("R1", (8, 0), mac="csma")
+    result = net.run(duration_s=5.0)
+    result.link("S1", "R1").packets_per_second
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..capacity.adaptation import FixedRate, OracleRateSelector, RateSelector
+from ..capacity.rates import OFDM_RATES, RateInfo, rate_by_mbps
+from ..propagation.channel import ChannelModel
+from .engine import Simulator
+from .frames import BROADCAST
+from .mac.csma import CsmaMac
+from .mac.tdma import TdmaMac, TdmaSchedule
+from .medium import Medium
+from .node import Node
+from .phy import ReceptionModel
+from .radio import Radio
+from .stats import LinkThroughput
+from .traffic import TrafficSource
+
+__all__ = ["WirelessNetwork", "RunResult"]
+
+Position = Tuple[float, float]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one measurement run."""
+
+    duration_s: float
+    nodes: Dict[Hashable, Node]
+    events_processed: int
+
+    def link(self, src: Hashable, dst: Hashable) -> LinkThroughput:
+        """Delivered throughput on the directed link ``src -> dst``."""
+        return self.nodes[dst].stats.link_throughput(src, self.duration_s)
+
+    def packets_delivered(self, src: Hashable, dst: Hashable) -> int:
+        return self.nodes[dst].stats.packets_from.get(src, 0)
+
+    def total_packets_per_second(self, links: Iterable[Tuple[Hashable, Hashable]]) -> float:
+        """Combined delivered packet rate over the given directed links."""
+        return sum(self.link(src, dst).packets_per_second for src, dst in links)
+
+
+class WirelessNetwork:
+    """Builds and runs a packet-level wireless network simulation."""
+
+    def __init__(
+        self,
+        channel: Optional[ChannelModel] = None,
+        seed: int = 0,
+        cca_threshold_dbm: Optional[float] = -82.0,
+        reception: Optional[ReceptionModel] = None,
+    ) -> None:
+        self.sim = Simulator()
+        self.channel = channel if channel is not None else ChannelModel()
+        self.medium = Medium(self.sim, self.channel)
+        self.default_cca_threshold_dbm = cca_threshold_dbm
+        self.reception = reception if reception is not None else ReceptionModel()
+        self.nodes: Dict[Hashable, Node] = {}
+        self._rng = np.random.default_rng(seed)
+        self._started = False
+
+    # -- construction -----------------------------------------------------------
+
+    def _child_rng(self) -> np.random.Generator:
+        return np.random.default_rng(self._rng.integers(0, 2**63 - 1))
+
+    def add_node(
+        self,
+        node_id: Hashable,
+        position: Position,
+        mac: str = "csma",
+        traffic: Optional[TrafficSource] = None,
+        rate_mbps: Optional[float] = None,
+        rate_selector: Optional[RateSelector] = None,
+        cca_threshold_dbm: Optional[float] = "default",
+        tdma_schedule: Optional[TdmaSchedule] = None,
+        use_acks: bool = False,
+        use_rts_cts: bool = False,
+    ) -> Node:
+        """Create a node with the given MAC and traffic source.
+
+        ``cca_threshold_dbm`` defaults to the network-wide setting; pass
+        ``None`` explicitly to disable carrier sense on this node (the
+        Section 4 "concurrency" configuration).
+        """
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id!r} already exists")
+        if self._started:
+            raise RuntimeError("cannot add nodes after the network has started")
+        if cca_threshold_dbm == "default":
+            cca_threshold_dbm = self.default_cca_threshold_dbm
+
+        radio = Radio(
+            node_id,
+            self.sim,
+            self.medium,
+            reception=self.reception,
+            cca_threshold_dbm=cca_threshold_dbm,
+            rng=self._child_rng(),
+        )
+        self.medium.register(node_id, position, radio)
+
+        if rate_selector is None:
+            if rate_mbps is not None:
+                rate_selector = FixedRate(rate_by_mbps(rate_mbps))
+            else:
+                rate_selector = FixedRate(OFDM_RATES[0])
+
+        if mac == "csma":
+            mac_obj = CsmaMac(
+                node_id,
+                self.sim,
+                radio,
+                rate_selector,
+                rng=self._child_rng(),
+                use_acks=use_acks,
+                use_rts_cts=use_rts_cts,
+            )
+        elif mac == "tdma":
+            if tdma_schedule is None:
+                raise ValueError("tdma MAC requires a tdma_schedule")
+            mac_obj = TdmaMac(
+                node_id, self.sim, radio, rate_selector, tdma_schedule, rng=self._child_rng()
+            )
+        else:
+            raise ValueError(f"unknown MAC type {mac!r}")
+
+        node = Node(node_id=node_id, position=position, radio=radio, mac=mac_obj, traffic=traffic)
+        self.nodes[node_id] = node
+        return node
+
+    # -- measurement ------------------------------------------------------------
+
+    def link_snr_db(self, src: Hashable, dst: Hashable) -> float:
+        """Interference-free SNR of a link (useful for oracle rate selection)."""
+        return self.medium.snr_db(src, dst)
+
+    def oracle_rate_selector(self, links: Sequence[Tuple[Hashable, Hashable]]) -> OracleRateSelector:
+        """An oracle selector primed with the true SNR of the given links."""
+        snr_map = {link: self.link_snr_db(*link) for link in links}
+        return OracleRateSelector(snr_db_by_link=snr_map)
+
+    def start(self) -> None:
+        """Start all node MACs (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes.values():
+            node.start()
+
+    def run(self, duration_s: float) -> RunResult:
+        """Run the network for ``duration_s`` simulated seconds and report."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        for node in self.nodes.values():
+            node.stats.reset()
+        self.start()
+        end_time = self.sim.now + duration_s
+        self.sim.run(until=end_time)
+        return RunResult(
+            duration_s=duration_s,
+            nodes=dict(self.nodes),
+            events_processed=self.sim.events_processed,
+        )

@@ -1,0 +1,218 @@
+"""Radio model: carrier sense, transmission, and frame reception.
+
+Each node owns one :class:`Radio`.  The radio keeps track of every
+transmission currently arriving at it (with its received power), which gives
+it the two capabilities the MAC needs:
+
+* **clear channel assessment (CCA)** -- the total in-band power compared to a
+  configurable threshold (``cca_threshold_dbm``); setting the threshold to
+  ``None`` disables carrier sense entirely, which is how the Section 4
+  "concurrency" runs were taken;
+* **reception** -- the radio locks onto the first detectable frame that
+  starts while it is unlocked and not transmitting, accumulates the worst-case
+  interference seen during the frame, and asks the :class:`ReceptionModel`
+  for a verdict when the frame ends.
+
+State-change notifications (channel busy/idle, frame received, transmission
+finished) are delivered to the owning MAC through callback attributes, which
+the MAC sets when it attaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional
+
+import numpy as np
+
+from ..units import linear_to_db
+from .engine import Simulator
+from .frames import Frame
+from .medium import Medium, Transmission
+from .phy import ReceptionModel, ReceptionOutcome
+
+__all__ = ["Radio", "RadioStats"]
+
+
+@dataclass
+class RadioStats:
+    """Low-level radio counters."""
+
+    frames_transmitted: int = 0
+    tx_airtime_s: float = 0.0
+    frames_decoded: int = 0
+    frames_failed: int = 0
+    frames_missed_while_busy: int = 0
+    receptions_aborted_by_tx: int = 0
+
+
+class Radio:
+    """A half-duplex radio attached to the shared medium."""
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        sim: Simulator,
+        medium: Medium,
+        reception: Optional[ReceptionModel] = None,
+        cca_threshold_dbm: Optional[float] = -82.0,
+        cca_noise_db: float = 2.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.medium = medium
+        self.reception = reception if reception is not None else ReceptionModel()
+        self.cca_threshold_dbm = cca_threshold_dbm
+        # Per-frame measurement noise on the sensed power.  Real clear-channel
+        # assessment is a noisy estimate, which is what makes marginal senders
+        # "flutter" between deferring and transmitting -- a behaviour the paper
+        # observes in its long-range experiments (Section 4.2).
+        self.cca_noise_db = cca_noise_db
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.stats = RadioStats()
+
+        self._incoming_power_mw: Dict[int, float] = {}
+        self._incoming_cca_power_mw: Dict[int, float] = {}
+        self._incoming_tx: Dict[int, Transmission] = {}
+        self._transmitting: Optional[Transmission] = None
+        self._locked: Optional[Transmission] = None
+        self._locked_power_mw: float = 0.0
+        self._locked_max_interference_mw: float = 0.0
+
+        # Callbacks wired up by the MAC.
+        self.on_channel_busy: Callable[[], None] = lambda: None
+        self.on_channel_idle: Callable[[], None] = lambda: None
+        self.on_frame_received: Callable[[ReceptionOutcome], None] = lambda outcome: None
+        self.on_transmit_complete: Callable[[Frame], None] = lambda frame: None
+
+        self._was_busy = False
+
+    # -- carrier sense ------------------------------------------------------------
+
+    @property
+    def carrier_sense_enabled(self) -> bool:
+        return self.cca_threshold_dbm is not None
+
+    @property
+    def incoming_count(self) -> int:
+        return len(self._incoming_power_mw)
+
+    def sensed_power_mw(self) -> float:
+        """Total power the CCA circuit estimates (includes measurement noise)."""
+        return sum(self._incoming_cca_power_mw.values()) + self.medium.noise_floor_mw
+
+    def sensed_power_dbm(self) -> float:
+        return float(linear_to_db(self.sensed_power_mw()))
+
+    def channel_busy(self) -> bool:
+        """CCA verdict: busy when sensed power exceeds the threshold.
+
+        With carrier sense disabled the channel always appears idle, and a
+        radio never considers the channel busy because of its *own*
+        transmission (the MAC already knows when it is transmitting).
+        """
+        if not self.carrier_sense_enabled:
+            return False
+        if not self._incoming_cca_power_mw:
+            return False
+        return self.sensed_power_dbm() > self.cca_threshold_dbm
+
+    def _update_busy_state(self) -> None:
+        busy = self.channel_busy()
+        if busy and not self._was_busy:
+            self._was_busy = True
+            self.on_channel_busy()
+        elif not busy and self._was_busy:
+            self._was_busy = False
+            self.on_channel_idle()
+
+    # -- transmission ---------------------------------------------------------------
+
+    @property
+    def is_transmitting(self) -> bool:
+        return self._transmitting is not None
+
+    def transmit(self, frame: Frame) -> Transmission:
+        """Put a frame on the air.  Aborts any reception in progress."""
+        if self._transmitting is not None:
+            raise RuntimeError(f"radio {self.node_id!r} is already transmitting")
+        if self._locked is not None:
+            # Half-duplex: transmitting destroys the frame being received.
+            self.stats.receptions_aborted_by_tx += 1
+            self._locked = None
+        tx = self.medium.start_transmission(self.node_id, frame)
+        self._transmitting = tx
+        self.stats.frames_transmitted += 1
+        self.stats.tx_airtime_s += frame.airtime_s
+        return tx
+
+    def transmit_finished(self, tx: Transmission) -> None:
+        """Called by the medium when this radio's own transmission ends."""
+        if self._transmitting is not tx:
+            return
+        self._transmitting = None
+        self.on_transmit_complete(tx.frame)
+
+    # -- reception ------------------------------------------------------------------
+
+    def _lock_onto(self, tx: Transmission, power_mw: float) -> None:
+        self._locked = tx
+        self._locked_power_mw = power_mw
+        self._locked_max_interference_mw = self._interference_excluding(tx.tx_id)
+
+    def incoming_started(self, tx: Transmission, power_mw: float) -> None:
+        """Called by the medium when any other node's transmission begins."""
+        self._incoming_power_mw[tx.tx_id] = power_mw
+        self._incoming_tx[tx.tx_id] = tx
+        cca_power_mw = power_mw
+        if self.cca_noise_db > 0:
+            cca_power_mw *= float(10.0 ** (self.rng.normal(0.0, self.cca_noise_db) / 10.0))
+        self._incoming_cca_power_mw[tx.tx_id] = cca_power_mw
+
+        power_dbm = float(linear_to_db(power_mw))
+        interference_mw = self._interference_excluding(tx.tx_id)
+        sinr_db = float(
+            linear_to_db(power_mw / (self.medium.noise_floor_mw + interference_mw))
+        )
+        if self._transmitting is not None:
+            self.stats.frames_missed_while_busy += 1
+        elif self._locked is None:
+            if self.reception.preamble_detectable(power_dbm, sinr_db):
+                self._lock_onto(tx, power_mw)
+        else:
+            locked_power_dbm = float(linear_to_db(self._locked_power_mw))
+            if self.reception.captures(power_dbm, locked_power_dbm):
+                # Physical-layer capture: the stronger frame steals the lock
+                # and the frame being received so far is lost.
+                self.stats.frames_failed += 1
+                self._lock_onto(tx, power_mw)
+            else:
+                self._locked_max_interference_mw = max(
+                    self._locked_max_interference_mw,
+                    self._interference_excluding(self._locked.tx_id),
+                )
+        self._update_busy_state()
+
+    def incoming_ended(self, tx: Transmission) -> None:
+        """Called by the medium when any other node's transmission ends."""
+        self._incoming_power_mw.pop(tx.tx_id, None)
+        self._incoming_cca_power_mw.pop(tx.tx_id, None)
+        self._incoming_tx.pop(tx.tx_id, None)
+
+        if self._locked is not None and self._locked.tx_id == tx.tx_id:
+            sinr_linear = self._locked_power_mw / (
+                self.medium.noise_floor_mw + self._locked_max_interference_mw
+            )
+            sinr_db = float(linear_to_db(sinr_linear))
+            outcome = self.reception.decide(tx.frame, sinr_db, self.rng)
+            if outcome.success:
+                self.stats.frames_decoded += 1
+            else:
+                self.stats.frames_failed += 1
+            self._locked = None
+            self.on_frame_received(outcome)
+        self._update_busy_state()
+
+    def _interference_excluding(self, tx_id: int) -> float:
+        return sum(p for key, p in self._incoming_power_mw.items() if key != tx_id)

@@ -1,0 +1,73 @@
+"""Per-node and per-link statistics collection."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable
+
+from .frames import Frame
+
+__all__ = ["NodeStats", "LinkThroughput"]
+
+
+@dataclass
+class LinkThroughput:
+    """Delivered traffic on one directed link over a measurement window."""
+
+    src: Hashable
+    dst: Hashable
+    packets: int
+    payload_bytes: int
+    duration_s: float
+
+    @property
+    def packets_per_second(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.packets / self.duration_s
+
+    @property
+    def throughput_bps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return 8.0 * self.payload_bytes / self.duration_s
+
+
+@dataclass
+class NodeStats:
+    """Application-level counters for one node.
+
+    ``packets_from`` counts successfully received data frames by source; the
+    testbed harness reads it to compute per-link delivery counts exactly the
+    way the paper counts "the number of packets successfully received at the
+    intended receiver".
+    """
+
+    node_id: Hashable
+    packets_received_total: int = 0
+    bytes_received_total: int = 0
+    packets_from: Dict[Hashable, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_from: Dict[Hashable, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_reception(self, frame: Frame) -> None:
+        self.packets_received_total += 1
+        self.bytes_received_total += frame.payload_bytes
+        self.packets_from[frame.src] += 1
+        self.bytes_from[frame.src] += frame.payload_bytes
+
+    def link_throughput(self, src: Hashable, duration_s: float) -> LinkThroughput:
+        """Throughput of the ``src -> this node`` link over a window."""
+        return LinkThroughput(
+            src=src,
+            dst=self.node_id,
+            packets=self.packets_from.get(src, 0),
+            payload_bytes=self.bytes_from.get(src, 0),
+            duration_s=duration_s,
+        )
+
+    def reset(self) -> None:
+        self.packets_received_total = 0
+        self.bytes_received_total = 0
+        self.packets_from.clear()
+        self.bytes_from.clear()

@@ -1,0 +1,104 @@
+"""Traffic sources.
+
+The Section 4 experiments saturate each sender ("each of the two senders
+attempts to send 1400-byte packets continuously for 15 seconds"), which is
+modelled by :class:`SaturatedTraffic`.  :class:`PoissonTraffic` provides a
+rate-limited open-loop alternative for examples and for exercising the MACs
+under partial load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from ..constants import EXPERIMENT_PAYLOAD_BYTES
+from .engine import Simulator
+from .frames import BROADCAST, Frame
+
+__all__ = ["TrafficSource", "SaturatedTraffic", "PoissonTraffic"]
+
+Packet = Tuple[Hashable, int]
+
+
+class TrafficSource:
+    """Interface the MAC uses to pull packets from the application layer."""
+
+    def next_packet(self) -> Optional[Packet]:
+        """Return ``(destination, payload_bytes)`` or ``None`` when idle."""
+        raise NotImplementedError
+
+    def notify_sent(self, frame: Frame) -> None:
+        """Called by the MAC when a packet's transmission attempt concludes."""
+
+
+@dataclass
+class SaturatedTraffic(TrafficSource):
+    """An always-backlogged source sending fixed-size packets to one destination."""
+
+    destination: Hashable = BROADCAST
+    payload_bytes: int = EXPERIMENT_PAYLOAD_BYTES
+    packets_offered: int = 0
+    packets_sent: int = 0
+
+    def next_packet(self) -> Optional[Packet]:
+        self.packets_offered += 1
+        return (self.destination, self.payload_bytes)
+
+    def notify_sent(self, frame: Frame) -> None:
+        self.packets_sent += 1
+
+
+@dataclass
+class PoissonTraffic(TrafficSource):
+    """Open-loop Poisson arrivals with a bounded queue.
+
+    The MAC polls ``next_packet``; arrivals accumulate in a queue driven by
+    the event engine.  This is not used by the paper reproduction experiments
+    but rounds out the library for partial-load studies.
+    """
+
+    sim: Simulator
+    rate_pps: float
+    destination: Hashable = BROADCAST
+    payload_bytes: int = EXPERIMENT_PAYLOAD_BYTES
+    queue_limit: int = 1000
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    packets_offered: int = 0
+    packets_dropped: int = 0
+    packets_sent: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_pps <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.queue_limit < 1:
+            raise ValueError("queue limit must be at least 1")
+        self._queue_depth = 0
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        gap = float(self.rng.exponential(1.0 / self.rate_pps))
+        self.sim.schedule(gap, self._arrival)
+
+    def _arrival(self) -> None:
+        self.packets_offered += 1
+        if self._queue_depth >= self.queue_limit:
+            self.packets_dropped += 1
+        else:
+            self._queue_depth += 1
+        self._schedule_next_arrival()
+
+    def next_packet(self) -> Optional[Packet]:
+        if self._queue_depth == 0:
+            return None
+        self._queue_depth -= 1
+        return (self.destination, self.payload_bytes)
+
+    def notify_sent(self, frame: Frame) -> None:
+        self.packets_sent += 1
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue_depth

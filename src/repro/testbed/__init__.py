@@ -1,0 +1,41 @@
+"""Synthetic indoor testbed and the Section 4 / Section 5 experiment protocols.
+
+Substitutes for the paper's ~50-node Atheros/Soekris 802.11a testbed: a
+deterministic office-building layout with the propagation statistics the
+paper measured, link probing (delivery rate and RSSI), pair selection by
+link-quality class, the competing-pairs measurement protocol, and the
+exposed-terminal study.
+"""
+
+from .experiment import (
+    CampaignSummary,
+    PairExperimentResult,
+    RateRunDetail,
+    StrategyThroughput,
+    TestbedExperiment,
+)
+from .exposed import ExposedTerminalStudy, exposed_terminal_study
+from .layout import TestbedLayout, TestbedNode, generate_office_layout
+from .measurement import LinkMeasurement, measure_all_links, measure_link, rssi_survey
+from .pairs import CandidatePair, CompetingPairs, select_competing_pairs, select_links
+
+__all__ = [
+    "TestbedNode",
+    "TestbedLayout",
+    "generate_office_layout",
+    "LinkMeasurement",
+    "measure_link",
+    "measure_all_links",
+    "rssi_survey",
+    "CandidatePair",
+    "CompetingPairs",
+    "select_links",
+    "select_competing_pairs",
+    "RateRunDetail",
+    "StrategyThroughput",
+    "PairExperimentResult",
+    "CampaignSummary",
+    "TestbedExperiment",
+    "ExposedTerminalStudy",
+    "exposed_terminal_study",
+]

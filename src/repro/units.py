@@ -1,0 +1,104 @@
+"""Unit conversions for power, SNR, and distances.
+
+Every module in the reproduction works either in linear power ratios or in
+decibels depending on what is most natural; these helpers keep the conversions
+in one well-tested place.  All functions accept scalars or NumPy arrays and
+return the same shape.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, int, np.ndarray]
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "dbm_to_milliwatts",
+    "milliwatts_to_dbm",
+    "snr_db",
+    "ratio_to_distance_factor",
+    "distance_factor_to_db",
+    "mbps_to_bps",
+    "bps_to_mbps",
+]
+
+
+def db_to_linear(value_db: ArrayLike) -> ArrayLike:
+    """Convert a decibel quantity to a linear power ratio."""
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(value: ArrayLike) -> ArrayLike:
+    """Convert a linear power ratio to decibels.
+
+    Zero or negative inputs map to ``-inf`` rather than raising, matching the
+    convention that "no power" is infinitely far below any threshold.
+    """
+    arr = np.asarray(value, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = 10.0 * np.log10(arr)
+    out = np.where(arr > 0, out, -np.inf)
+    if np.isscalar(value) or np.ndim(value) == 0:
+        return float(out)
+    return out
+
+
+def dbm_to_watts(value_dbm: ArrayLike) -> ArrayLike:
+    """Convert dBm to watts."""
+    return np.power(10.0, (np.asarray(value_dbm, dtype=float) - 30.0) / 10.0)
+
+
+def watts_to_dbm(value_watts: ArrayLike) -> ArrayLike:
+    """Convert watts to dBm."""
+    return linear_to_db(np.asarray(value_watts, dtype=float)) + 30.0
+
+
+def dbm_to_milliwatts(value_dbm: ArrayLike) -> ArrayLike:
+    """Convert dBm to milliwatts."""
+    return np.power(10.0, np.asarray(value_dbm, dtype=float) / 10.0)
+
+
+def milliwatts_to_dbm(value_mw: ArrayLike) -> ArrayLike:
+    """Convert milliwatts to dBm."""
+    return linear_to_db(value_mw)
+
+
+def snr_db(signal: ArrayLike, noise: ArrayLike) -> ArrayLike:
+    """Signal-to-noise ratio in dB given linear signal and noise powers."""
+    return linear_to_db(np.asarray(signal, dtype=float) / np.asarray(noise, dtype=float))
+
+
+def ratio_to_distance_factor(ratio_db: ArrayLike, alpha: float) -> ArrayLike:
+    """Convert a power ratio in dB to the equivalent distance factor.
+
+    Under a path-loss exponent ``alpha``, a power change of ``ratio_db``
+    corresponds to scaling distance by ``10 ** (ratio_db / (10 * alpha))``.
+    The paper uses this repeatedly, e.g. "14 dB's equivalent in path loss is a
+    distance factor of about 3x" for alpha = 3 (Section 3.4).
+    """
+    if alpha <= 0:
+        raise ValueError(f"path-loss exponent must be positive, got {alpha}")
+    return np.power(10.0, np.asarray(ratio_db, dtype=float) / (10.0 * alpha))
+
+
+def distance_factor_to_db(factor: ArrayLike, alpha: float) -> ArrayLike:
+    """Inverse of :func:`ratio_to_distance_factor`."""
+    if alpha <= 0:
+        raise ValueError(f"path-loss exponent must be positive, got {alpha}")
+    return 10.0 * alpha * np.log10(np.asarray(factor, dtype=float))
+
+
+def mbps_to_bps(value_mbps: ArrayLike) -> ArrayLike:
+    """Convert megabits per second to bits per second."""
+    return np.asarray(value_mbps, dtype=float) * 1e6
+
+
+def bps_to_mbps(value_bps: ArrayLike) -> ArrayLike:
+    """Convert bits per second to megabits per second."""
+    return np.asarray(value_bps, dtype=float) / 1e6

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite.
+
+Fixtures here keep the expensive objects (testbed layouts, Monte-Carlo sample
+batches) session-scoped so the suite stays fast while individual tests remain
+independent and readable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_NOISE_RATIO
+from repro.core.geometry import Scenario
+from repro.propagation.channel import ChannelModel
+from repro.propagation.pathloss import LogDistancePathLoss
+from repro.testbed.layout import generate_office_layout
+
+
+@pytest.fixture(scope="session")
+def default_noise():
+    """The paper's normalised noise floor (-65 dB) as a linear ratio."""
+    return DEFAULT_NOISE_RATIO
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_layout():
+    """A small synthetic testbed (fast to probe exhaustively)."""
+    return generate_office_layout(n_nodes=16, floors=1, floor_width_m=60.0, floor_depth_m=40.0, seed=5)
+
+
+@pytest.fixture(scope="session")
+def office_layout():
+    """The default 50-node, two-floor synthetic testbed."""
+    return generate_office_layout(seed=7)
+
+
+@pytest.fixture
+def flat_channel():
+    """A deterministic physical channel (no shadowing, no fading)."""
+    return ChannelModel(
+        path_loss=LogDistancePathLoss(alpha=3.0, frequency_hz=5.24e9),
+        sigma_db=0.0,
+        rng=np.random.default_rng(0),
+    )
+
+
+@pytest.fixture
+def transition_scenario():
+    """An Rmax = 40 network with the interferer in the transition region."""
+    return Scenario(rmax=40.0, d=55.0, alpha=3.0, sigma_db=8.0)

@@ -1,0 +1,114 @@
+"""Tests for the bitrate adaptation algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capacity.adaptation import (
+    FixedRate,
+    OracleRateSelector,
+    SampleRateAdapter,
+    best_rate_for_snr,
+    expected_goodput_bps,
+)
+from repro.capacity.rates import OFDM_RATES, rate_by_mbps
+
+
+class TestExpectedGoodput:
+    def test_goodput_positive_above_threshold(self):
+        rate = rate_by_mbps(24.0)
+        assert expected_goodput_bps(rate.min_snr_db + 10.0, rate) > 0.8 * rate.bits_per_second * 0.7
+
+    def test_goodput_negligible_far_below_threshold(self):
+        rate = rate_by_mbps(54.0)
+        assert expected_goodput_bps(rate.min_snr_db - 10.0, rate) < 1e5
+
+
+class TestBestRateForSnr:
+    def test_low_snr_picks_low_rate(self):
+        assert best_rate_for_snr(6.0).mbps <= 9.0
+
+    def test_high_snr_picks_top_rate(self):
+        assert best_rate_for_snr(35.0).mbps == 54.0
+
+    def test_monotone_in_snr(self):
+        chosen = [best_rate_for_snr(snr).mbps for snr in np.linspace(2.0, 35.0, 12)]
+        assert chosen == sorted(chosen)
+
+    def test_respects_restricted_rate_set(self):
+        subset = [rate_by_mbps(6.0), rate_by_mbps(24.0)]
+        assert best_rate_for_snr(35.0, rates=subset).mbps == 24.0
+
+    def test_empty_rate_set_rejected(self):
+        with pytest.raises(ValueError):
+            best_rate_for_snr(20.0, rates=[])
+
+
+class TestFixedAndOracleSelectors:
+    def test_fixed_rate_always_returns_same(self):
+        selector = FixedRate(rate_by_mbps(12.0))
+        assert selector.select("any-link").mbps == 12.0
+        selector.report("any-link", rate_by_mbps(12.0), False, 1e-3)
+        assert selector.select("any-link").mbps == 12.0
+
+    def test_oracle_uses_snr_map(self):
+        selector = OracleRateSelector(snr_db_by_link={"strong": 35.0, "weak": 6.0})
+        assert selector.select("strong").mbps == 54.0
+        assert selector.select("weak").mbps <= 9.0
+
+    def test_oracle_falls_back_to_lowest_rate(self):
+        selector = OracleRateSelector(snr_db_by_link={})
+        assert selector.select("unknown").mbps == 6.0
+
+
+class TestSampleRateAdapter:
+    def _drive(self, adapter, link, true_snr_db, n=300, seed=0):
+        """Feed the adapter outcomes drawn from the true per-rate success rates."""
+        from repro.capacity.error_models import packet_success_rate
+        from repro.capacity.rates import frame_airtime_s
+
+        rng = np.random.default_rng(seed)
+        for _ in range(n):
+            rate = adapter.select(link)
+            success = bool(rng.random() < float(packet_success_rate(true_snr_db, rate)))
+            adapter.report(link, rate, success, frame_airtime_s(1400, rate))
+
+    def test_converges_to_best_rate_for_strong_link(self):
+        adapter = SampleRateAdapter()
+        self._drive(adapter, "link", true_snr_db=30.0)
+        best = adapter.best_known_rate("link")
+        assert best is not None and best.mbps >= 36.0
+
+    def test_stays_low_for_weak_link(self):
+        adapter = SampleRateAdapter()
+        self._drive(adapter, "link", true_snr_db=7.0)
+        best = adapter.best_known_rate("link")
+        assert best is not None and best.mbps <= 12.0
+
+    def test_tracks_links_independently(self):
+        adapter = SampleRateAdapter()
+        self._drive(adapter, "strong", true_snr_db=30.0, seed=1)
+        self._drive(adapter, "weak", true_snr_db=7.0, seed=2)
+        assert adapter.best_known_rate("strong").mbps > adapter.best_known_rate("weak").mbps
+
+    def test_unknown_link_starts_at_lowest_untried_rate(self):
+        adapter = SampleRateAdapter()
+        assert adapter.select("fresh").mbps == 6.0
+
+    def test_failure_blackout_avoids_dead_rates(self):
+        adapter = SampleRateAdapter(probe_probability=0.0, failure_blackout=2)
+        link = "link"
+        rate54 = rate_by_mbps(54.0)
+        for _ in range(3):
+            adapter.report(link, rate54, False, 1e-3)
+        # Give a good rate some history so it has something to fall back on.
+        adapter.report(link, rate_by_mbps(12.0), True, 1e-3)
+        for _ in range(50):
+            assert adapter.select(link).mbps != 54.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SampleRateAdapter(rates=[])
+        with pytest.raises(ValueError):
+            SampleRateAdapter(probe_probability=1.5)

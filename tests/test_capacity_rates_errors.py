@@ -1,0 +1,155 @@
+"""Tests for the 802.11 rate tables, frame timing, and error models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.capacity.error_models import (
+    average_packet_success_rate,
+    ber_bpsk,
+    ber_mqam,
+    coded_ber,
+    packet_error_rate,
+    packet_success_rate,
+    raw_ber,
+)
+from repro.capacity.rates import (
+    EXPERIMENT_RATE_SET,
+    OFDM_RATES,
+    RateInfo,
+    ack_airtime_s,
+    frame_airtime_s,
+    ofdm_rate_set,
+    rate_by_mbps,
+)
+
+
+class TestRateTable:
+    def test_all_802_11a_rates_present(self):
+        assert [r.mbps for r in OFDM_RATES] == [6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0]
+
+    def test_experiment_rate_set_matches_paper(self):
+        assert [r.mbps for r in EXPERIMENT_RATE_SET] == [6.0, 9.0, 12.0, 18.0, 24.0]
+
+    def test_bits_per_symbol_consistent_with_rate(self):
+        for rate in OFDM_RATES:
+            # 4 microsecond OFDM symbols: data bits per symbol = Mbps * 4.
+            assert rate.bits_per_symbol == pytest.approx(rate.mbps * 4.0)
+
+    def test_min_snr_increases_with_rate(self):
+        snrs = [r.min_snr_db for r in OFDM_RATES]
+        assert snrs == sorted(snrs)
+
+    def test_lookup_by_mbps(self):
+        assert rate_by_mbps(24.0).modulation == "16-QAM"
+        with pytest.raises(KeyError):
+            rate_by_mbps(7.0)
+
+    def test_ofdm_rate_set_sorted(self):
+        rates = ofdm_rate_set([24.0, 6.0, 12.0])
+        assert [r.mbps for r in rates] == [6.0, 12.0, 24.0]
+
+
+class TestFrameTiming:
+    def test_1400_byte_frame_at_6mbps(self):
+        airtime = frame_airtime_s(1400, rate_by_mbps(6.0))
+        # 1434 bytes + tail at 6 Mbps is roughly 1.9 ms plus a 20 us preamble.
+        assert airtime == pytest.approx(1.936e-3, rel=0.02)
+
+    def test_1400_byte_frame_at_24mbps(self):
+        assert frame_airtime_s(1400, rate_by_mbps(24.0)) == pytest.approx(500e-6, rel=0.02)
+
+    def test_airtime_decreases_with_rate(self):
+        airtimes = [frame_airtime_s(1400, r) for r in OFDM_RATES]
+        assert airtimes == sorted(airtimes, reverse=True)
+
+    def test_ack_much_shorter_than_data(self):
+        assert ack_airtime_s(rate_by_mbps(6.0)) < 0.1 * frame_airtime_s(1400, rate_by_mbps(6.0))
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            frame_airtime_s(-1, rate_by_mbps(6.0))
+
+    @given(st.integers(min_value=0, max_value=2304), st.sampled_from([6.0, 12.0, 24.0, 54.0]))
+    def test_airtime_monotone_in_payload(self, payload, mbps):
+        rate = rate_by_mbps(mbps)
+        assert frame_airtime_s(payload + 100, rate) >= frame_airtime_s(payload, rate)
+
+
+class TestErrorModels:
+    def test_bpsk_ber_at_reference_point(self):
+        # Q(sqrt(2 * 10)) for 10 dB per-bit SNR is about 3.9e-6.
+        assert ber_bpsk(10.0) == pytest.approx(3.87e-6, rel=0.05)
+
+    def test_mqam_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            ber_mqam(1.0, 5)
+
+    def test_coded_better_than_uncoded(self):
+        rate = rate_by_mbps(12.0)
+        assert coded_ber(8.0, rate) <= raw_ber(8.0, rate)
+
+    @given(st.floats(min_value=-10.0, max_value=40.0), st.sampled_from([6.0, 12.0, 24.0, 54.0]))
+    def test_per_is_a_probability(self, snr_db, mbps):
+        per = packet_error_rate(snr_db, rate_by_mbps(mbps))
+        assert 0.0 <= per <= 1.0
+
+    @given(st.sampled_from([6.0, 12.0, 24.0, 54.0]))
+    def test_per_monotone_decreasing_in_snr(self, mbps):
+        rate = rate_by_mbps(mbps)
+        snrs = np.linspace(-5.0, 40.0, 40)
+        pers = np.asarray(packet_error_rate(snrs, rate))
+        assert np.all(np.diff(pers) <= 1e-12)
+
+    def test_waterfall_shape(self):
+        rate = rate_by_mbps(24.0)
+        assert packet_error_rate(rate.min_snr_db + 6.0, rate) < 0.01
+        assert packet_error_rate(rate.min_snr_db - 8.0, rate) > 0.99
+
+    def test_higher_rates_need_more_snr(self):
+        snr = 10.0
+        assert packet_success_rate(snr, rate_by_mbps(6.0)) > packet_success_rate(
+            snr, rate_by_mbps(54.0)
+        )
+
+    def test_longer_packets_fail_more(self):
+        rate = rate_by_mbps(12.0)
+        snr = rate.min_snr_db
+        assert packet_error_rate(snr, rate, 1400) >= packet_error_rate(snr, rate, 100)
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ValueError):
+            packet_error_rate(10.0, rate_by_mbps(6.0), payload_bytes=0)
+
+
+class TestAveragePacketSuccess:
+    def test_zero_sigma_matches_instantaneous(self):
+        rate = rate_by_mbps(6.0)
+        assert average_packet_success_rate(10.0, rate, sigma_db=0.0) == pytest.approx(
+            float(packet_success_rate(10.0, rate))
+        )
+
+    def test_variation_softens_the_waterfall(self):
+        rate = rate_by_mbps(6.0)
+        # Well below threshold the variation can only help; well above it hurts.
+        below = rate.min_snr_db - 6.0
+        above = rate.min_snr_db + 10.0
+        assert average_packet_success_rate(below, rate, sigma_db=8.0) > float(
+            packet_success_rate(below, rate)
+        )
+        assert average_packet_success_rate(above, rate, sigma_db=8.0) < float(
+            packet_success_rate(above, rate)
+        )
+
+    def test_monotone_in_mean_snr(self):
+        rate = rate_by_mbps(6.0)
+        values = [
+            average_packet_success_rate(snr, rate, sigma_db=8.0) for snr in (0.0, 10.0, 20.0, 30.0)
+        ]
+        assert values == sorted(values)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            average_packet_success_rate(10.0, rate_by_mbps(6.0), sigma_db=-1.0)

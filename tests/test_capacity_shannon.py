@@ -1,0 +1,103 @@
+"""Tests for the Shannon capacity model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.capacity.shannon import (
+    capacity_from_powers,
+    effective_capacity,
+    shannon_capacity,
+    sinr,
+    snr_for_capacity,
+)
+
+
+class TestSinr:
+    def test_basic_ratio(self):
+        assert sinr(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_interference_adds_to_noise(self):
+        assert sinr(10.0, 2.0, 3.0) == pytest.approx(2.0)
+
+    def test_zero_noise_rejected(self):
+        with pytest.raises(ValueError):
+            sinr(1.0, 0.0)
+
+    def test_negative_signal_rejected(self):
+        with pytest.raises(ValueError):
+            sinr(-1.0, 1.0)
+
+
+class TestShannonCapacity:
+    def test_zero_snr_gives_zero_capacity(self):
+        assert shannon_capacity(0.0) == 0.0
+
+    def test_snr_one_gives_one_bit(self):
+        assert shannon_capacity(1.0) == pytest.approx(1.0)
+
+    def test_bandwidth_scales_linearly(self):
+        assert shannon_capacity(3.0, bandwidth_hz=20e6) == pytest.approx(
+            20e6 * shannon_capacity(3.0)
+        )
+
+    def test_3db_snr_increase_near_one_bit_at_high_snr(self):
+        high = shannon_capacity(10_000.0)
+        doubled = shannon_capacity(20_000.0)
+        assert doubled - high == pytest.approx(1.0, abs=1e-3)
+
+    @given(st.floats(min_value=0.0, max_value=1e6), st.floats(min_value=0.0, max_value=1e6))
+    def test_monotone_in_snr(self, a, b):
+        low, high = sorted((a, b))
+        assert shannon_capacity(high) >= shannon_capacity(low)
+
+    @given(st.floats(min_value=1e-3, max_value=1e5))
+    def test_round_trip_with_inverse(self, snr_value):
+        capacity = shannon_capacity(snr_value)
+        assert snr_for_capacity(capacity) == pytest.approx(snr_value, rel=1e-9)
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1e3),
+        st.floats(min_value=1e-9, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_concurrent_plus_interference_never_beats_clean_channel(
+        self, signal, noise, interference
+    ):
+        clean = capacity_from_powers(signal, noise)
+        interfered = capacity_from_powers(signal, noise, interference)
+        assert interfered <= clean + 1e-12
+
+    def test_negative_snr_rejected(self):
+        with pytest.raises(ValueError):
+            shannon_capacity(-0.1)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            shannon_capacity(1.0, bandwidth_hz=0.0)
+
+
+class TestCapacityFromPowers:
+    def test_time_share_halves_capacity(self):
+        full = capacity_from_powers(1e-3, 1e-6)
+        half = capacity_from_powers(1e-3, 1e-6, time_share=0.5)
+        assert half == pytest.approx(0.5 * full)
+
+    def test_invalid_time_share_rejected(self):
+        with pytest.raises(ValueError):
+            capacity_from_powers(1.0, 1.0, time_share=1.5)
+
+
+class TestEffectiveCapacity:
+    def test_efficiency_scales(self):
+        assert effective_capacity(3.0, efficiency=0.5) == pytest.approx(
+            0.5 * shannon_capacity(3.0)
+        )
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            effective_capacity(1.0, efficiency=0.0)
+        with pytest.raises(ValueError):
+            effective_capacity(1.0, efficiency=1.5)

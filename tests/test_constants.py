@@ -1,0 +1,48 @@
+"""Sanity checks on the model constants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+class TestAnalyticalConstants:
+    def test_noise_ratio_matches_db_value(self):
+        assert constants.DEFAULT_NOISE_RATIO == pytest.approx(
+            10.0 ** (constants.DEFAULT_NOISE_DB / 10.0)
+        )
+
+    def test_reference_distances_bracket_operating_range(self):
+        assert constants.R_SNR_26DB < constants.DEFAULT_DTHRESHOLD < constants.R_SNR_3DB
+
+    def test_table_grids_match_paper(self):
+        assert constants.TABLE_RMAX_VALUES == (20.0, 40.0, 120.0)
+        assert constants.TABLE_D_VALUES == (20.0, 55.0, 120.0)
+
+    def test_regime_ratio_ordering(self):
+        assert constants.LONG_RANGE_THRESHOLD_RATIO < constants.SHORT_RANGE_THRESHOLD_RATIO
+
+
+class TestPhysicalConstants:
+    def test_noise_floor_about_minus_94_dbm(self):
+        # -174 dBm/Hz + 10 log10(20 MHz) + 7 dB noise figure is about -94 dBm.
+        assert constants.DEFAULT_NOISE_FLOOR_DBM == pytest.approx(-94.0, abs=0.5)
+
+    def test_experiment_protocol_constants(self):
+        assert constants.EXPERIMENT_PAYLOAD_BYTES == 1400
+        assert constants.EXPERIMENT_RUN_SECONDS == 15.0
+        assert constants.EXPERIMENT_RATES_MBPS == (6.0, 9.0, 12.0, 18.0, 24.0)
+
+    def test_delivery_class_bounds_ordered(self):
+        assert (
+            constants.LONG_RANGE_DELIVERY_MIN
+            < constants.SHORT_RANGE_DELIVERY_MIN
+            <= constants.LONG_RANGE_DELIVERY_MAX + 0.01
+        )
+
+    def test_frequency_bands(self):
+        assert 2.4e9 < constants.FREQ_2_4_GHZ < 2.5e9
+        assert 5.1e9 < constants.FREQ_5_GHZ < 5.9e9

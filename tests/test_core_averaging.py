@@ -1,0 +1,151 @@
+"""Tests for the spatial averaging of MAC policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_NOISE_RATIO
+from repro.core.averaging import (
+    average_policies,
+    draw_configuration,
+    normalization_capacity,
+    single_sender_average,
+    throughput_curves,
+)
+from repro.core.geometry import Scenario
+
+NOISE = DEFAULT_NOISE_RATIO
+
+
+class TestAveragePolicies:
+    def test_policy_ordering_invariants(self, transition_scenario):
+        averages = average_policies(transition_scenario, d_threshold=55.0, n_samples=8000)
+        # Optimal dominates every implementable policy and never exceeds CUBmax
+        # by construction of the fairness constraint.
+        assert averages.optimal >= averages.carrier_sense - 1e-9
+        assert averages.optimal >= averages.multiplexing - 1e-9
+        assert averages.optimal >= averages.concurrent - 1e-9
+        assert averages.optimal <= averages.upper_bound + 1e-9
+        # Multiplexing is exactly half of the single-sender average.
+        assert averages.multiplexing == pytest.approx(0.5 * averages.single, rel=1e-9)
+        assert 0.0 < averages.cs_efficiency <= 1.0 + 1e-9
+
+    def test_quadrature_and_montecarlo_agree_without_shadowing(self):
+        scenario = Scenario(rmax=40.0, d=55.0, sigma_db=0.0)
+        quad = average_policies(scenario, 55.0, method="quadrature")
+        mc = average_policies(scenario, 55.0, method="montecarlo", n_samples=60_000, seed=4)
+        assert mc.concurrent == pytest.approx(quad.concurrent, rel=0.02)
+        assert mc.multiplexing == pytest.approx(quad.multiplexing, rel=0.02)
+        assert mc.optimal == pytest.approx(quad.optimal, rel=0.03)
+
+    def test_quadrature_requires_zero_sigma(self, transition_scenario):
+        with pytest.raises(ValueError):
+            average_policies(transition_scenario, 55.0, method="quadrature")
+
+    def test_unknown_method_rejected(self, transition_scenario):
+        with pytest.raises(ValueError):
+            average_policies(transition_scenario, 55.0, method="magic")
+
+    def test_invalid_threshold_rejected(self, transition_scenario):
+        with pytest.raises(ValueError):
+            average_policies(transition_scenario, 0.0)
+
+    def test_defer_probability_tracks_distance(self):
+        near = average_policies(Scenario(rmax=40.0, d=20.0), 55.0, n_samples=5000)
+        far = average_policies(Scenario(rmax=40.0, d=120.0), 55.0, n_samples=5000)
+        assert near.defer_probability > 0.5
+        assert far.defer_probability < 0.5
+
+    def test_deterministic_model_defers_deterministically(self):
+        near = average_policies(Scenario(rmax=40.0, d=20.0, sigma_db=0.0), 55.0)
+        far = average_policies(Scenario(rmax=40.0, d=120.0, sigma_db=0.0), 55.0)
+        assert near.defer_probability == 1.0
+        assert far.defer_probability == 0.0
+
+    def test_carrier_sense_between_policies(self, transition_scenario):
+        averages = average_policies(transition_scenario, 55.0, n_samples=8000)
+        lower = min(averages.multiplexing, averages.concurrent)
+        upper = max(averages.multiplexing, averages.concurrent)
+        assert lower - 1e-9 <= averages.carrier_sense <= upper + 1e-9
+
+    def test_reproducible_for_fixed_seed(self, transition_scenario):
+        a = average_policies(transition_scenario, 55.0, n_samples=4000, seed=9)
+        b = average_policies(transition_scenario, 55.0, n_samples=4000, seed=9)
+        assert a.carrier_sense == b.carrier_sense
+        assert a.optimal == b.optimal
+
+    def test_as_dict_contains_all_policies(self, transition_scenario):
+        averages = average_policies(transition_scenario, 55.0, n_samples=2000)
+        assert set(averages.as_dict()) == {
+            "single",
+            "multiplexing",
+            "concurrent",
+            "carrier_sense",
+            "optimal",
+            "upper_bound",
+        }
+
+
+class TestNormalizationAndSingleSender:
+    def test_normalization_is_rmax20_single_average(self):
+        assert normalization_capacity(3.0, NOISE) == pytest.approx(
+            single_sender_average(20.0, 3.0, NOISE), rel=1e-6
+        )
+
+    def test_shadowed_single_average_exceeds_deterministic(self):
+        # Convexity of capacity in linear SNR at low SNR: shadowing raises the mean.
+        deterministic = single_sender_average(120.0, 3.0, NOISE, sigma_db=0.0)
+        shadowed = single_sender_average(120.0, 3.0, NOISE, sigma_db=8.0, n_samples=60_000)
+        assert shadowed > deterministic
+
+    def test_larger_network_has_lower_average_capacity(self):
+        assert single_sender_average(120.0, 3.0, NOISE) < single_sender_average(20.0, 3.0, NOISE)
+
+
+class TestThroughputCurves:
+    def test_curve_structure_and_monotonicity(self):
+        d_values = np.linspace(10.0, 200.0, 12)
+        curves = throughput_curves(40.0, d_values, 55.0, 3.0, NOISE, sigma_db=0.0)
+        # Multiplexing is flat in D; concurrency is monotone increasing in D.
+        assert np.allclose(curves["multiplexing"], curves["multiplexing"][0])
+        assert np.all(np.diff(curves["concurrent"]) > -1e-9)
+        # Concurrency approaches twice multiplexing at large separation (it has
+        # not fully converged at D = 200, so allow a one-sided margin).
+        assert curves["concurrent"][-1] > 1.8 * curves["multiplexing"][-1]
+        assert curves["concurrent"][-1] <= 2.0 * curves["multiplexing"][-1] + 1e-9
+        # Optimal dominates carrier sense everywhere.
+        assert np.all(curves["optimal"] >= curves["carrier_sense"] - 1e-9)
+
+    def test_carrier_sense_is_piecewise_of_the_two_branches(self):
+        d_values = np.array([20.0, 40.0, 70.0, 120.0])
+        curves = throughput_curves(55.0, d_values, 55.0, 3.0, NOISE, sigma_db=0.0)
+        for i, d in enumerate(d_values):
+            branch = "multiplexing" if d < 55.0 else "concurrent"
+            assert curves["carrier_sense"][i] == pytest.approx(curves[branch][i], rel=1e-9)
+
+    def test_normalisation_reference_value(self):
+        # At Rmax = 20 and very large D, concurrency equals the normaliser.
+        curves = throughput_curves(20.0, [5000.0], 55.0, 3.0, NOISE, sigma_db=0.0)
+        assert curves["concurrent"][0] == pytest.approx(1.0, rel=0.01)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_curves(40.0, [], 55.0, 3.0, NOISE)
+        with pytest.raises(ValueError):
+            throughput_curves(40.0, [0.0], 55.0, 3.0, NOISE)
+
+
+class TestDrawConfiguration:
+    def test_shapes_and_shadow_keys(self, rng):
+        samples = draw_configuration(40.0, 500, rng)
+        assert samples.n == 500
+        assert set(samples.unit_shadow_db) == {"s1_r1", "s2_r1", "s2_r2", "s1_r2", "sense"}
+
+    def test_shadow_gains_scale_with_sigma(self, rng):
+        samples = draw_configuration(40.0, 20_000, rng)
+        gains = samples.shadow_gains(8.0)
+        values_db = 10.0 * np.log10(gains["s1_r1"])
+        assert np.std(values_db) == pytest.approx(8.0, rel=0.05)
+        unity = samples.shadow_gains(0.0)
+        assert np.all(unity["sense"] == 1.0)

@@ -1,0 +1,189 @@
+"""Tests for the analytical model's geometry and per-configuration capacities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import DEFAULT_NOISE_RATIO
+from repro.core.geometry import (
+    Scenario,
+    interferer_distance,
+    receiver_grid,
+    sample_receiver_positions,
+)
+from repro.core.throughput import (
+    c_carrier_sense,
+    c_concurrent,
+    c_multiplexing,
+    c_optimal_pair,
+    c_single,
+    c_upper_bound,
+    carrier_sense_defers,
+    sensed_power,
+    threshold_distance_from_power,
+    threshold_power_from_distance,
+)
+
+NOISE = DEFAULT_NOISE_RATIO
+
+
+class TestScenario:
+    def test_valid_construction(self):
+        scenario = Scenario(rmax=40.0, d=55.0)
+        assert scenario.alpha == 3.0
+        assert scenario.sigma_db == 8.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rmax": 0.0, "d": 10.0},
+            {"rmax": 10.0, "d": 0.0},
+            {"rmax": 10.0, "d": 10.0, "alpha": 0.0},
+            {"rmax": 10.0, "d": 10.0, "sigma_db": -1.0},
+            {"rmax": 10.0, "d": 10.0, "noise": 0.0},
+        ],
+    )
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Scenario(**kwargs)
+
+    def test_without_shadowing(self):
+        assert Scenario(rmax=20.0, d=30.0).without_shadowing().sigma_db == 0.0
+
+    def test_with_d_and_with_rmax(self):
+        scenario = Scenario(rmax=20.0, d=30.0)
+        assert scenario.with_d(99.0).d == 99.0
+        assert scenario.with_rmax(55.0).rmax == 55.0
+
+    def test_edge_snr_matches_paper_reference_points(self):
+        # Section 3.2.2: r = 20 is roughly 26 dB SNR, r = 120 just shy of 3 dB.
+        assert Scenario(rmax=20.0, d=1.0).edge_snr_db == pytest.approx(26.0, abs=1.0)
+        assert Scenario(rmax=120.0, d=1.0).edge_snr_db == pytest.approx(2.7, abs=0.5)
+
+
+class TestGeometry:
+    def test_interferer_distance_on_axis(self):
+        # Receiver at (r, 0) with interferer at (-d, 0): separation is r + d.
+        assert interferer_distance(10.0, 0.0, 30.0) == pytest.approx(40.0)
+
+    def test_interferer_distance_opposite_side(self):
+        # Receiver at angle pi sits between the two senders.
+        assert interferer_distance(10.0, np.pi, 30.0) == pytest.approx(20.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.0, max_value=2 * np.pi),
+        st.floats(min_value=0.1, max_value=200.0),
+    )
+    def test_triangle_inequality(self, r, theta, d):
+        delta = interferer_distance(r, theta, d)
+        assert delta <= r + d + 1e-9
+        assert delta >= abs(d - r) - 1e-9
+
+    def test_sample_positions_within_disc(self, rng):
+        r, theta = sample_receiver_positions(50.0, 10_000, rng)
+        assert np.all(r <= 50.0)
+        assert np.all(r > 0)
+        assert np.all((theta >= 0) & (theta <= 2 * np.pi))
+
+    def test_sample_positions_uniform_over_area(self, rng):
+        r, _theta = sample_receiver_positions(50.0, 200_000, rng)
+        # Uniform over the disc: mean radius is 2/3 of Rmax.
+        assert np.mean(r) == pytest.approx(2.0 / 3.0 * 50.0, rel=0.01)
+
+    def test_receiver_grid_weights_sum_to_one(self):
+        _r, _theta, weights = receiver_grid(30.0, 40, 16)
+        assert np.sum(weights) == pytest.approx(1.0)
+
+    def test_receiver_grid_equal_area_rings(self):
+        r, _theta, _w = receiver_grid(10.0, 4, 1)
+        expected = 10.0 * np.sqrt((np.arange(4) + 0.5) / 4)
+        np.testing.assert_allclose(np.unique(np.round(r, 9)), np.round(expected, 9))
+
+    def test_invalid_sampling_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_receiver_positions(10.0, 0, rng)
+        with pytest.raises(ValueError):
+            receiver_grid(10.0, 0, 8)
+
+
+class TestPerConfigurationCapacities:
+    def test_single_capacity_at_reference_distance(self):
+        # r = 20 at -65 dB noise is about 26 dB SNR -> log2(1 + SNR) ~ 8.7 b/s/Hz.
+        capacity = c_single(20.0, 3.0, NOISE)
+        assert capacity == pytest.approx(np.log2(1 + 10 ** 2.6), rel=0.01)
+
+    def test_multiplexing_is_half_of_single(self):
+        r = np.array([5.0, 20.0, 80.0])
+        np.testing.assert_allclose(
+            c_multiplexing(r, 3.0, NOISE), 0.5 * np.asarray(c_single(r, 3.0, NOISE))
+        )
+
+    def test_concurrent_below_single(self):
+        assert c_concurrent(20.0, 0.3, 50.0, 3.0, NOISE) < c_single(20.0, 3.0, NOISE)
+
+    def test_concurrent_approaches_single_for_distant_interferer(self):
+        far = c_concurrent(20.0, 0.3, 1e6, 3.0, NOISE)
+        assert far == pytest.approx(c_single(20.0, 3.0, NOISE), rel=1e-3)
+
+    def test_concurrent_near_zero_for_coincident_senders(self):
+        # Interferer almost on top of the sender: SNR can't exceed 0 dB.
+        value = c_concurrent(20.0, 0.0, 1e-3, 3.0, NOISE)
+        assert value < 1.05  # log2(1 + 1) = 1 bit/s/Hz at best
+
+    @given(
+        st.floats(min_value=1.0, max_value=120.0),
+        st.floats(min_value=0.0, max_value=2 * np.pi),
+        st.floats(min_value=1.0, max_value=500.0),
+    )
+    @settings(max_examples=50)
+    def test_upper_bound_dominates_both_policies(self, r, theta, d):
+        ub = c_upper_bound(r, theta, d, 3.0, NOISE)
+        assert ub >= c_multiplexing(r, 3.0, NOISE) - 1e-12
+        assert ub >= c_concurrent(r, theta, d, 3.0, NOISE) - 1e-12
+
+    def test_optimal_pair_between_mean_policies_and_upper_bound(self, rng):
+        r1, t1 = sample_receiver_positions(40.0, 2000, rng)
+        r2, t2 = sample_receiver_positions(40.0, 2000, rng)
+        d = 55.0
+        optimal = c_optimal_pair(r1, t1, r2, t2, d, 3.0, NOISE)
+        mux = c_multiplexing(r1, 3.0, NOISE)
+        conc = c_concurrent(r1, t1, d, 3.0, NOISE)
+        ub = c_upper_bound(r1, t1, d, 3.0, NOISE)
+        assert np.mean(optimal) >= np.mean(mux) - 1e-9
+        assert np.mean(optimal) >= np.mean(conc) - 1e-9
+        assert np.mean(optimal) <= np.mean(ub) + 1e-9
+
+
+class TestCarrierSenseDecision:
+    def test_threshold_power_distance_round_trip(self):
+        power = threshold_power_from_distance(55.0, 3.0)
+        assert threshold_distance_from_power(power, 3.0) == pytest.approx(55.0)
+
+    def test_defers_inside_threshold(self):
+        assert carrier_sense_defers(30.0, 55.0, 3.0)
+        assert not carrier_sense_defers(80.0, 55.0, 3.0)
+
+    def test_shadowing_can_flip_the_decision(self):
+        # A strong positive shadowing draw on the sense path makes a distant
+        # interferer look close (defer); a negative draw does the opposite.
+        assert carrier_sense_defers(80.0, 55.0, 3.0, sense_shadowing_gain=100.0)
+        assert not carrier_sense_defers(30.0, 55.0, 3.0, sense_shadowing_gain=0.001)
+
+    def test_sensed_power_matches_path_gain(self):
+        assert sensed_power(55.0, 3.0) == pytest.approx(55.0**-3)
+
+    def test_carrier_sense_piecewise_behaviour(self):
+        r, theta = 20.0, 0.5
+        defer_value = c_carrier_sense(r, theta, 30.0, 55.0, 3.0, NOISE)
+        concurrent_value = c_carrier_sense(r, theta, 80.0, 55.0, 3.0, NOISE)
+        assert defer_value == pytest.approx(float(c_multiplexing(r, 3.0, NOISE)))
+        assert concurrent_value == pytest.approx(float(c_concurrent(r, theta, 80.0, 3.0, NOISE)))
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_power_from_distance(0.0, 3.0)
+        with pytest.raises(ValueError):
+            threshold_distance_from_power(-1.0, 3.0)

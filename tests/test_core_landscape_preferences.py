@@ -1,0 +1,95 @@
+"""Tests for the capacity landscape and receiver preference maps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.landscape import capacity_map
+from repro.core.preferences import (
+    PREFER_CONCURRENCY,
+    PREFER_MULTIPLEXING,
+    STARVED,
+    preference_fractions,
+    preference_map,
+)
+
+
+class TestCapacityMap:
+    def test_peak_is_at_the_sender(self):
+        cap = capacity_map("single", extent=100.0, resolution=81)
+        x, y = cap.peak_position()
+        assert abs(x) < 2.0 and abs(y) < 2.0
+
+    def test_multiplexing_is_half_of_single_everywhere(self):
+        single = capacity_map("single", extent=100.0, resolution=41)
+        mux = capacity_map("multiplexing", extent=100.0, resolution=41)
+        np.testing.assert_allclose(mux.capacity, 0.5 * single.capacity)
+
+    def test_concurrency_has_a_hole_near_the_interferer(self):
+        cap = capacity_map("concurrency", d=55.0, extent=150.0, resolution=121)
+        near_interferer = cap.value_at(-55.0, 5.0)
+        far_side = cap.value_at(55.0, 5.0)
+        assert near_interferer < 0.25 * far_side
+
+    def test_capacity_improves_as_interferer_recedes(self):
+        reference_point = (20.0, 0.0)
+        values = [
+            capacity_map("concurrency", d=d, extent=60.0, resolution=61).value_at(*reference_point)
+            for d in (20.0, 55.0, 120.0)
+        ]
+        assert values == sorted(values)
+
+    def test_concurrency_requires_d(self):
+        with pytest.raises(ValueError):
+            capacity_map("concurrency")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            capacity_map("duplex")
+
+
+class TestPreferenceRegions:
+    def test_close_interferer_prefers_multiplexing(self):
+        # Figure 3, D = 20: multiplexing optimal for essentially all receivers
+        # within Rmax up to ~100.
+        fractions = preference_fractions(rmax=100.0, d=20.0)
+        assert fractions.prefer_multiplexing_total > 0.95
+        assert fractions.dominant_choice == "multiplexing"
+
+    def test_distant_interferer_prefers_concurrency(self):
+        # Figure 3, D = 120: concurrency optimal for Rmax up to ~50.
+        fractions = preference_fractions(rmax=50.0, d=120.0)
+        assert fractions.prefer_concurrency > 0.95
+        assert fractions.dominant_choice == "concurrency"
+
+    def test_transition_distance_splits_receivers(self):
+        # Figure 3, D = 55: receivers split roughly down the middle.
+        fractions = preference_fractions(rmax=55.0, d=55.0)
+        assert 0.25 < fractions.prefer_concurrency < 0.75
+
+    def test_fractions_sum_to_one(self):
+        fractions = preference_fractions(rmax=60.0, d=55.0)
+        total = fractions.prefer_concurrency + fractions.prefer_multiplexing + fractions.starved
+        assert total == pytest.approx(1.0)
+
+    def test_starved_receivers_cluster_near_the_interferer(self):
+        pmap = preference_map(d=55.0, extent=120.0, resolution=121)
+        starved_mask = pmap.classification == STARVED
+        assert starved_mask.any()
+        xx, yy = np.meshgrid(pmap.x, pmap.y, indexing="ij")
+        distance_to_interferer = np.hypot(xx + 55.0, yy)
+        assert distance_to_interferer[starved_mask].mean() < distance_to_interferer.mean()
+
+    def test_map_fraction_with_radius_filter(self):
+        pmap = preference_map(d=20.0, extent=100.0, resolution=101)
+        inside = pmap.fraction(PREFER_MULTIPLEXING, within_radius=50.0) + pmap.fraction(
+            STARVED, within_radius=50.0
+        )
+        assert inside > 0.9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            preference_fractions(rmax=0.0, d=10.0)
+        with pytest.raises(ValueError):
+            preference_map(d=0.0)

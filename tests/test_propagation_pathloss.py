@@ -1,0 +1,102 @@
+"""Tests for path-loss models (normalised and physical)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.propagation.pathloss import (
+    LogDistancePathLoss,
+    free_space_path_loss_db,
+    path_gain,
+    path_loss_db,
+)
+
+
+class TestNormalizedPathGain:
+    def test_unit_distance_has_unit_gain(self):
+        assert path_gain(1.0, alpha=3.0) == pytest.approx(1.0)
+
+    def test_gain_decays_with_alpha(self):
+        assert path_gain(10.0, alpha=2.0) == pytest.approx(1e-2)
+        assert path_gain(10.0, alpha=3.0) == pytest.approx(1e-3)
+        assert path_gain(10.0, alpha=4.0) == pytest.approx(1e-4)
+
+    def test_vector_input(self):
+        gains = path_gain(np.array([1.0, 2.0, 4.0]), alpha=2.0)
+        np.testing.assert_allclose(gains, [1.0, 0.25, 0.0625])
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ValueError):
+            path_gain(0.0, alpha=3.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            path_gain(5.0, alpha=-1.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1e4),
+        st.floats(min_value=0.1, max_value=1e4),
+        st.floats(min_value=1.5, max_value=6.0),
+    )
+    def test_monotone_decreasing_in_distance(self, d1, d2, alpha):
+        near, far = sorted((d1, d2))
+        assert path_gain(near, alpha) >= path_gain(far, alpha)
+
+    @given(st.floats(min_value=0.5, max_value=500.0), st.floats(min_value=1.5, max_value=6.0))
+    def test_loss_db_consistent_with_gain(self, distance, alpha):
+        loss = path_loss_db(distance, alpha)
+        gain = path_gain(distance, alpha)
+        assert 10.0 ** (-loss / 10.0) == pytest.approx(gain, rel=1e-9)
+
+
+class TestFreeSpacePathLoss:
+    def test_friis_at_one_metre_2_4ghz(self):
+        # 20 log10(4 pi / lambda) at 2.4 GHz is roughly 40 dB.
+        assert free_space_path_loss_db(1.0, 2.4e9) == pytest.approx(40.0, abs=0.5)
+
+    def test_six_db_per_doubling(self):
+        loss1 = free_space_path_loss_db(10.0, 5.2e9)
+        loss2 = free_space_path_loss_db(20.0, 5.2e9)
+        assert loss2 - loss1 == pytest.approx(6.02, abs=0.01)
+
+
+class TestLogDistancePathLoss:
+    def test_reference_defaults_to_free_space(self):
+        model = LogDistancePathLoss(alpha=3.0, frequency_hz=5.2e9)
+        assert model.reference_loss_db == pytest.approx(
+            free_space_path_loss_db(1.0, 5.2e9)
+        )
+
+    def test_explicit_reference(self):
+        model = LogDistancePathLoss(
+            alpha=3.6, frequency_hz=5.2e9, reference_distance_m=20.0, reference_loss_db=77.0
+        )
+        assert model.loss_db(20.0) == pytest.approx(77.0)
+        assert model.loss_db(200.0) == pytest.approx(77.0 + 36.0)
+
+    def test_received_power(self):
+        model = LogDistancePathLoss(
+            alpha=3.0, frequency_hz=5.2e9, reference_distance_m=1.0, reference_loss_db=40.0
+        )
+        assert model.received_power_dbm(15.0, 10.0) == pytest.approx(15.0 - 70.0)
+
+    def test_gain_linear_matches_loss(self):
+        model = LogDistancePathLoss(alpha=3.5, frequency_hz=2.4e9)
+        loss = model.loss_db(25.0)
+        assert model.gain_linear(25.0) == pytest.approx(10.0 ** (-loss / 10.0))
+
+    def test_distance_for_loss_inverts_loss(self):
+        model = LogDistancePathLoss(alpha=3.2, frequency_hz=5.2e9)
+        distance = 37.5
+        assert model.distance_for_loss(model.loss_db(distance)) == pytest.approx(distance)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(alpha=0.0, frequency_hz=5.2e9)
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(alpha=3.0, frequency_hz=5.2e9, reference_distance_m=0.0)
+        model = LogDistancePathLoss(alpha=3.0, frequency_hz=5.2e9)
+        with pytest.raises(ValueError):
+            model.loss_db(0.0)

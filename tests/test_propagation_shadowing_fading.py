@@ -1,0 +1,123 @@
+"""Tests for the shadowing and small-scale fading models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.propagation.fading import (
+    RayleighFading,
+    RicianFading,
+    effective_wideband_sigma_db,
+)
+from repro.propagation.shadowing import ShadowingModel, combined_sigma_db
+
+
+class TestShadowingModel:
+    def test_zero_sigma_is_deterministic(self):
+        model = ShadowingModel(0.0)
+        assert model.is_deterministic
+        assert model.sample_db() == 0.0
+        assert model.sample_linear() == pytest.approx(1.0)
+        np.testing.assert_array_equal(model.sample_db(5), np.zeros(5))
+
+    def test_sample_statistics_match_sigma(self):
+        model = ShadowingModel(8.0, rng=np.random.default_rng(1))
+        samples = model.sample_db(200_000)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.1)
+        assert np.std(samples) == pytest.approx(8.0, abs=0.1)
+
+    def test_mean_linear_gain_exceeds_one(self):
+        # Lognormal mean > median: the convexity effect the paper leans on.
+        model = ShadowingModel(8.0, rng=np.random.default_rng(2))
+        assert model.mean_linear_gain() > 1.0
+        empirical = float(np.mean(model.sample_linear(400_000)))
+        assert empirical == pytest.approx(model.mean_linear_gain(), rel=0.05)
+
+    def test_probability_above_db(self):
+        model = ShadowingModel(8.0)
+        assert model.probability_above_db(0.0) == pytest.approx(0.5)
+        assert model.probability_above_db(8.0) == pytest.approx(0.1587, abs=1e-3)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowingModel(-1.0)
+
+    def test_deterministic_threshold_probability(self):
+        model = ShadowingModel(0.0)
+        assert model.probability_above_db(-1.0) == 1.0
+        assert model.probability_above_db(1.0) == 0.0
+
+
+class TestCombinedSigma:
+    def test_three_equal_components(self):
+        # Section 3.4: sigma * sqrt(3) ~= 14 dB for 8 dB shadowing.
+        assert combined_sigma_db(8.0, 8.0, 8.0) == pytest.approx(13.86, abs=0.01)
+
+    def test_single_component_unchanged(self):
+        assert combined_sigma_db(5.0) == pytest.approx(5.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=20.0), min_size=1, max_size=5))
+    def test_combined_at_least_max_component(self, sigmas):
+        assert combined_sigma_db(*sigmas) >= max(sigmas) - 1e-9
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            combined_sigma_db(4.0, -2.0)
+
+
+class TestRayleighFading:
+    def test_mean_power_gain_is_one(self):
+        fading = RayleighFading(rng=np.random.default_rng(3))
+        samples = fading.sample_power_gain(200_000)
+        assert np.mean(samples) == pytest.approx(1.0, rel=0.02)
+
+    def test_outage_probability_matches_samples(self):
+        fading = RayleighFading(rng=np.random.default_rng(4))
+        samples = fading.sample_power_gain(200_000)
+        margin_db = 10.0
+        empirical = float(np.mean(samples < 10.0 ** (-margin_db / 10.0)))
+        assert empirical == pytest.approx(fading.outage_probability(margin_db), abs=0.005)
+
+    def test_amplitude_is_sqrt_of_power(self):
+        fading = RayleighFading(rng=np.random.default_rng(5))
+        amplitudes = fading.sample_amplitude(10_000)
+        assert np.all(amplitudes >= 0)
+
+
+class TestRicianFading:
+    def test_mean_power_gain_is_one(self):
+        fading = RicianFading(k_factor=5.0, rng=np.random.default_rng(6))
+        samples = fading.sample_power_gain(200_000)
+        assert np.mean(samples) == pytest.approx(1.0, rel=0.02)
+
+    def test_higher_k_means_less_variance(self):
+        low_k = RicianFading(k_factor=0.5, rng=np.random.default_rng(7))
+        high_k = RicianFading(k_factor=20.0, rng=np.random.default_rng(8))
+        assert np.var(high_k.sample_power_gain(100_000)) < np.var(
+            low_k.sample_power_gain(100_000)
+        )
+
+    def test_k_zero_matches_rayleigh_variance(self):
+        rician = RicianFading(k_factor=0.0, rng=np.random.default_rng(9))
+        samples = rician.sample_power_gain(200_000)
+        # Exponential distribution has variance equal to its squared mean.
+        assert np.var(samples) == pytest.approx(1.0, rel=0.05)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            RicianFading(k_factor=-1.0)
+
+
+class TestWidebandAveraging:
+    def test_more_taps_less_residual_variation(self):
+        assert effective_wideband_sigma_db(16) < effective_wideband_sigma_db(4)
+
+    def test_wideband_residual_is_a_few_db(self):
+        # The paper folds fading away because the residual is a few dB at most.
+        assert effective_wideband_sigma_db(8) < 2.0
+
+    def test_invalid_taps_rejected(self):
+        with pytest.raises(ValueError):
+            effective_wideband_sigma_db(0)

@@ -1,0 +1,92 @@
+"""Tests for the two-ray ground model and knife-edge diffraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import FREQ_2_4_GHZ
+from repro.propagation.diffraction import (
+    fresnel_v,
+    knife_edge_loss_db,
+    knife_edge_loss_db_exact,
+)
+from repro.propagation.tworay import TwoRayGroundModel
+
+
+class TestTwoRayGroundModel:
+    def test_far_field_follows_fourth_power_law(self):
+        model = TwoRayGroundModel(frequency_hz=FREQ_2_4_GHZ, tx_height_m=1.5, rx_height_m=1.5)
+        d = 10.0 * model.crossover_distance_m
+        ratio = model.gain_far_field(d) / model.gain_far_field(2.0 * d)
+        assert ratio == pytest.approx(16.0, rel=1e-6)
+
+    def test_exact_converges_to_far_field_beyond_crossover(self):
+        model = TwoRayGroundModel(frequency_hz=FREQ_2_4_GHZ)
+        distances = np.linspace(5.0, 20.0, 8) * model.crossover_distance_m
+        exact = np.asarray(model.gain_exact(distances))
+        approx = np.asarray(model.gain_far_field(distances))
+        np.testing.assert_allclose(exact, approx, rtol=0.5)
+
+    def test_exact_oscillates_before_crossover(self):
+        model = TwoRayGroundModel(frequency_hz=FREQ_2_4_GHZ)
+        distances = np.linspace(2.0, 0.8 * model.crossover_distance_m, 400)
+        gains = np.asarray(model.gain_exact(distances))
+        free_space = (model.wavelength_m / (4.0 * np.pi * distances)) ** 2
+        ratio = gains / free_space
+        # Constructive and destructive interference: ratio both above and below 1.
+        assert ratio.max() > 1.5
+        assert ratio.min() < 0.5
+
+    def test_loss_db_positive(self):
+        model = TwoRayGroundModel(frequency_hz=FREQ_2_4_GHZ)
+        assert model.loss_db_far_field(100.0) > 0
+        assert model.loss_db_exact(100.0) > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TwoRayGroundModel(frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            TwoRayGroundModel(frequency_hz=FREQ_2_4_GHZ, tx_height_m=0.0)
+        model = TwoRayGroundModel(frequency_hz=FREQ_2_4_GHZ)
+        with pytest.raises(ValueError):
+            model.gain_exact(0.0)
+
+
+class TestKnifeEdgeDiffraction:
+    def test_grazing_incidence_loss_is_six_db(self):
+        # v = 0 (edge exactly on the line of sight) gives 6 dB in both forms.
+        assert knife_edge_loss_db(0.0) == pytest.approx(6.0, abs=1.0)
+        assert knife_edge_loss_db_exact(0.0) == pytest.approx(6.0, abs=0.1)
+
+    def test_loss_increases_with_obstruction(self):
+        v = np.array([-1.0, 0.0, 1.0, 2.0, 4.0])
+        losses = knife_edge_loss_db(v)
+        assert np.all(np.diff(losses) >= 0)
+
+    def test_clear_path_has_no_loss(self):
+        assert knife_edge_loss_db(-2.0) == 0.0
+
+    def test_approximation_close_to_exact(self):
+        v = np.linspace(0.0, 4.0, 20)
+        approx = np.asarray(knife_edge_loss_db(v))
+        exact = np.asarray(knife_edge_loss_db_exact(v))
+        np.testing.assert_allclose(approx, exact, atol=1.5)
+
+    def test_paper_barrier_example_is_around_30db(self):
+        # Section 3.4: a barrier 5 m away at 2.4 GHz gives ~30 dB of knife-edge
+        # diffraction loss for a deeply shadowed geometry.
+        v = fresnel_v(
+            obstacle_height_m=5.0,
+            dist_tx_to_obstacle_m=5.0,
+            dist_obstacle_to_rx_m=5.0,
+            frequency_hz=FREQ_2_4_GHZ,
+        )
+        loss = knife_edge_loss_db(v)
+        assert 22.0 <= loss <= 38.0
+
+    def test_fresnel_v_validation(self):
+        with pytest.raises(ValueError):
+            fresnel_v(1.0, 0.0, 5.0, FREQ_2_4_GHZ)
+        with pytest.raises(ValueError):
+            fresnel_v(1.0, 5.0, 5.0, 0.0)

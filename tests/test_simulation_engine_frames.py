@@ -1,0 +1,133 @@
+"""Tests for the discrete-event engine and frame definitions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.capacity.rates import rate_by_mbps
+from repro.simulation.engine import Simulator
+from repro.simulation.frames import BROADCAST, Frame, FrameKind
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(1.5, lambda: order.append("middle"))
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_broken_by_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+        assert sim.now == 3.5
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_events_scheduled_from_callbacks(self):
+        sim = Simulator()
+        seen = []
+
+        def chain():
+            seen.append(sim.now)
+            if len(seen) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_at(-1.0, lambda: None)
+
+    def test_step_executes_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [1]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
+    def test_execution_times_are_sorted_property(self, delays):
+        sim = Simulator()
+        seen = []
+        for delay in delays:
+            sim.schedule(delay, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+
+class TestFrames:
+    def test_airtime_uses_rate_and_payload(self):
+        frame = Frame(FrameKind.DATA, "a", "b", 1400, rate_by_mbps(6.0))
+        faster = Frame(FrameKind.DATA, "a", "b", 1400, rate_by_mbps(24.0))
+        assert frame.airtime_s > faster.airtime_s
+
+    def test_broadcast_detection(self):
+        frame = Frame(FrameKind.DATA, "a", BROADCAST, 1400, rate_by_mbps(6.0))
+        assert frame.is_broadcast
+        unicast = Frame(FrameKind.DATA, "a", "b", 1400, rate_by_mbps(6.0))
+        assert not unicast.is_broadcast
+
+    def test_frame_ids_are_unique(self):
+        frames = [Frame(FrameKind.DATA, "a", "b", 100, rate_by_mbps(6.0)) for _ in range(10)]
+        assert len({f.frame_id for f in frames}) == 10
+
+    def test_retry_copy_increments_counter_and_keeps_sequence(self):
+        frame = Frame(FrameKind.DATA, "a", "b", 100, rate_by_mbps(6.0), sequence=7)
+        retry = frame.as_retry()
+        assert retry.retry == 1
+        assert retry.sequence == 7
+        assert retry.src == "a" and retry.dst == "b"
+
+    def test_control_frames_are_short(self):
+        ack = Frame(FrameKind.ACK, "b", "a", 14, rate_by_mbps(6.0))
+        data = Frame(FrameKind.DATA, "a", "b", 1400, rate_by_mbps(6.0))
+        assert ack.airtime_s < 0.1 * data.airtime_s

@@ -1,0 +1,221 @@
+"""Tests for the shared medium, radio CCA, and frame reception."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capacity.rates import rate_by_mbps
+from repro.propagation.channel import ChannelModel
+from repro.propagation.pathloss import LogDistancePathLoss
+from repro.simulation.engine import Simulator
+from repro.simulation.frames import BROADCAST, Frame, FrameKind
+from repro.simulation.medium import Medium
+from repro.simulation.phy import ReceptionModel
+from repro.simulation.radio import Radio
+
+
+def build_medium(positions, sigma_db=0.0, reference_loss_db=77.0, cca=-82.0, jitter=0.0):
+    """Construct a Simulator + Medium + Radios for the given node positions."""
+    sim = Simulator()
+    channel = ChannelModel(
+        path_loss=LogDistancePathLoss(
+            alpha=3.6, frequency_hz=5.24e9, reference_distance_m=20.0,
+            reference_loss_db=reference_loss_db,
+        ),
+        sigma_db=sigma_db,
+        rng=np.random.default_rng(0),
+    )
+    medium = Medium(sim, channel)
+    radios = {}
+    reception = ReceptionModel(snr_jitter_db=jitter)
+    for i, (node_id, position) in enumerate(positions.items()):
+        radio = Radio(
+            node_id, sim, medium, reception=reception, cca_threshold_dbm=cca,
+            cca_noise_db=0.0, rng=np.random.default_rng(100 + i),
+        )
+        medium.register(node_id, position, radio)
+        radios[node_id] = radio
+    return sim, medium, radios
+
+
+def data_frame(src, dst=BROADCAST, mbps=6.0, payload=1400):
+    return Frame(FrameKind.DATA, src, dst, payload, rate_by_mbps(mbps))
+
+
+class TestMedium:
+    def test_rx_power_decreases_with_distance(self):
+        _sim, medium, _ = build_medium({"a": (0, 0), "b": (10, 0), "c": (40, 0)})
+        assert medium.rx_power_dbm("a", "b") > medium.rx_power_dbm("a", "c")
+
+    def test_snr_positive_for_nearby_link(self):
+        _sim, medium, _ = build_medium({"a": (0, 0), "b": (10, 0)})
+        assert medium.snr_db("a", "b") > 20.0
+
+    def test_distance_clamped_at_minimum(self):
+        _sim, medium, _ = build_medium({"a": (0, 0), "b": (0, 0.01)})
+        assert medium.distance("a", "b") == medium.min_distance_m
+
+    def test_duplicate_registration_rejected(self):
+        sim, medium, _ = build_medium({"a": (0, 0)})
+        with pytest.raises(ValueError):
+            medium.register("a", (1, 1), Radio("a2", sim, medium))
+
+    def test_unknown_source_rejected(self):
+        _sim, medium, _ = build_medium({"a": (0, 0)})
+        with pytest.raises(KeyError):
+            medium.start_transmission("ghost", data_frame("ghost"))
+
+    def test_transmission_lifecycle(self):
+        sim, medium, _radios = build_medium({"a": (0, 0), "b": (10, 0)})
+        medium.start_transmission("a", data_frame("a"))
+        assert len(medium.active_transmissions) == 1
+        sim.run()
+        assert len(medium.active_transmissions) == 0
+
+
+class TestRadioCarrierSense:
+    def test_channel_busy_when_strong_frame_on_air(self):
+        sim, medium, radios = build_medium({"a": (0, 0), "b": (10, 0)})
+        assert not radios["b"].channel_busy()
+        medium.start_transmission("a", data_frame("a"))
+        assert radios["b"].channel_busy()
+        sim.run()
+        assert not radios["b"].channel_busy()
+
+    def test_busy_idle_callbacks_fire(self):
+        sim, medium, radios = build_medium({"a": (0, 0), "b": (10, 0)})
+        events = []
+        radios["b"].on_channel_busy = lambda: events.append("busy")
+        radios["b"].on_channel_idle = lambda: events.append("idle")
+        medium.start_transmission("a", data_frame("a"))
+        sim.run()
+        assert events == ["busy", "idle"]
+
+    def test_cca_disabled_never_busy(self):
+        sim, medium, radios = build_medium({"a": (0, 0), "b": (10, 0)}, cca=None)
+        medium.start_transmission("a", data_frame("a"))
+        assert not radios["b"].channel_busy()
+        assert not radios["b"].carrier_sense_enabled
+        sim.run()
+
+    def test_distant_sender_not_sensed(self):
+        # At ~500 m the received power falls below the CCA threshold.
+        sim, medium, radios = build_medium({"a": (0, 0), "b": (500, 0)})
+        medium.start_transmission("a", data_frame("a"))
+        assert not radios["b"].channel_busy()
+        sim.run()
+
+    def test_sensed_power_includes_noise_floor(self):
+        _sim, _medium, radios = build_medium({"a": (0, 0), "b": (10, 0)})
+        assert radios["b"].sensed_power_mw() == pytest.approx(
+            radios["b"].medium.noise_floor_mw
+        )
+
+
+class TestRadioReception:
+    def test_clean_frame_is_received(self):
+        sim, medium, radios = build_medium({"a": (0, 0), "b": (10, 0)})
+        outcomes = []
+        radios["b"].on_frame_received = outcomes.append
+        medium.start_transmission("a", data_frame("a"))
+        sim.run()
+        assert len(outcomes) == 1
+        assert outcomes[0].success
+        assert outcomes[0].sinr_db > 20.0
+
+    def test_colliding_equal_power_frames_fail(self):
+        positions = {"a": (0, 0), "b": (20, 0), "r": (10, 0)}
+        sim, medium, radios = build_medium(positions, cca=None)
+        outcomes = []
+        radios["r"].on_frame_received = outcomes.append
+        medium.start_transmission("a", data_frame("a"))
+        medium.start_transmission("b", data_frame("b"))
+        sim.run()
+        # The receiver locks onto the first frame; SINR ~ 0 dB so it fails.
+        assert len(outcomes) == 1
+        assert not outcomes[0].success
+
+    def test_capture_by_much_stronger_frame(self):
+        positions = {"far": (80, 0), "near": (5, 0), "r": (0, 0)}
+        sim, medium, radios = build_medium(positions, cca=None)
+        outcomes = []
+        radios["r"].on_frame_received = outcomes.append
+        medium.start_transmission("far", data_frame("far"))
+
+        def send_near():
+            medium.start_transmission("near", data_frame("near"))
+
+        sim.schedule(1e-4, send_near)
+        sim.run()
+        # The near sender is >10 dB stronger, steals the lock, and is decoded.
+        successes = [o for o in outcomes if o.success]
+        assert any(o.frame.src == "near" for o in successes)
+        assert radios["r"].stats.frames_failed >= 1
+
+    def test_undecodable_preamble_does_not_lock(self):
+        # A frame buried under a much stronger ongoing frame never locks, so
+        # only the strong frame produces a reception outcome.
+        positions = {"strong": (5, 0), "weak": (80, 0), "r": (0, 0)}
+        sim, medium, radios = build_medium(positions, cca=None)
+        outcomes = []
+        radios["r"].on_frame_received = outcomes.append
+        medium.start_transmission("strong", data_frame("strong"))
+        sim.schedule(1e-4, lambda: medium.start_transmission("weak", data_frame("weak")))
+        sim.run()
+        assert [o.frame.src for o in outcomes] == ["strong"]
+
+    def test_transmitting_radio_does_not_receive(self):
+        positions = {"a": (0, 0), "b": (10, 0)}
+        sim, medium, radios = build_medium(positions, cca=None)
+        outcomes = []
+        radios["a"].on_frame_received = outcomes.append
+        radios["a"].transmit(data_frame("a"))
+        medium.start_transmission("b", data_frame("b"))
+        sim.run()
+        assert outcomes == []
+        assert radios["a"].stats.frames_missed_while_busy >= 1
+
+    def test_transmit_aborts_ongoing_reception(self):
+        positions = {"a": (0, 0), "b": (10, 0)}
+        sim, medium, radios = build_medium(positions, cca=None)
+        medium.start_transmission("b", data_frame("b"))
+        radios["a"].transmit(data_frame("a"))
+        sim.run()
+        assert radios["a"].stats.receptions_aborted_by_tx == 1
+
+    def test_double_transmit_rejected(self):
+        _sim, _medium, radios = build_medium({"a": (0, 0), "b": (10, 0)})
+        radios["a"].transmit(data_frame("a"))
+        with pytest.raises(RuntimeError):
+            radios["a"].transmit(data_frame("a"))
+
+
+class TestReceptionModel:
+    def test_deterministic_mode_thresholds_at_half(self):
+        model = ReceptionModel(deterministic=True)
+        rate = rate_by_mbps(24.0)
+        frame = Frame(FrameKind.DATA, "a", "b", 1400, rate)
+        rng = np.random.default_rng(0)
+        assert model.decide(frame, rate.min_snr_db + 10.0, rng).success
+        assert not model.decide(frame, rate.min_snr_db - 10.0, rng).success
+
+    def test_control_frames_get_a_bonus(self):
+        model = ReceptionModel()
+        rate = rate_by_mbps(6.0)
+        data = Frame(FrameKind.DATA, "a", "b", 1400, rate)
+        ack = Frame(FrameKind.ACK, "b", "a", 14, rate)
+        snr = 4.0
+        assert model.success_probability(ack, snr) > model.success_probability(data, snr)
+
+    def test_preamble_detection_requires_power_and_sinr(self):
+        model = ReceptionModel(sensitivity_dbm=-90.0, preamble_snr_threshold_db=4.0)
+        assert model.preamble_detectable(-70.0, 20.0)
+        assert not model.preamble_detectable(-95.0, 20.0)
+        assert not model.preamble_detectable(-70.0, 1.0)
+
+    def test_capture_requires_margin(self):
+        model = ReceptionModel(capture_margin_db=10.0)
+        assert model.captures(-50.0, -65.0)
+        assert not model.captures(-60.0, -65.0)
+        assert not model.captures(-95.0, -120.0)  # below sensitivity

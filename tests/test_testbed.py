@@ -1,0 +1,147 @@
+"""Tests for the synthetic testbed: layout, measurement, pair selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capacity.rates import rate_by_mbps
+from repro.testbed.layout import generate_office_layout
+from repro.testbed.measurement import measure_all_links, measure_link, rssi_survey
+from repro.testbed.pairs import select_competing_pairs, select_links
+
+
+class TestLayout:
+    def test_node_count_and_unique_ids(self, office_layout):
+        assert len(office_layout.nodes) == 50
+        assert len(set(office_layout.node_ids)) == 50
+
+    def test_nodes_within_floor_bounds(self, office_layout):
+        for node in office_layout.nodes:
+            assert 0.0 <= node.x <= 100.0
+            assert 0.0 <= node.y <= 60.0
+            assert node.floor in (0, 1)
+
+    def test_deterministic_for_seed(self):
+        a = generate_office_layout(n_nodes=20, seed=3)
+        b = generate_office_layout(n_nodes=20, seed=3)
+        assert [(n.x, n.y, n.floor) for n in a.nodes] == [(n.x, n.y, n.floor) for n in b.nodes]
+        pair = (a.node_ids[0], a.node_ids[5])
+        assert a.channel.shadowing_db(*pair) == b.channel.shadowing_db(*pair)
+
+    def test_different_seed_differs(self):
+        a = generate_office_layout(n_nodes=20, seed=3)
+        b = generate_office_layout(n_nodes=20, seed=4)
+        assert [(n.x, n.y) for n in a.nodes] != [(n.x, n.y) for n in b.nodes]
+
+    def test_cross_floor_pairs_attenuated_on_average(self, office_layout):
+        same, cross = [], []
+        ids = office_layout.node_ids
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                value = office_layout.channel.shadowing_db(a, b)
+                (same if office_layout.same_floor(a, b) else cross).append(value)
+        assert np.mean(cross) < np.mean(same) - 5.0
+
+    def test_distance_symmetry(self, office_layout):
+        a, b = office_layout.node_ids[0], office_layout.node_ids[10]
+        assert office_layout.distance(a, b) == office_layout.distance(b, a)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_office_layout(n_nodes=3)
+
+
+class TestMeasurement:
+    def test_link_snr_decreases_with_distance_on_average(self, small_layout):
+        measurements = measure_all_links(small_layout)
+        near = [m.snr_db for m in measurements if m.distance_m < 15.0]
+        far = [m.snr_db for m in measurements if m.distance_m > 40.0]
+        assert np.mean(near) > np.mean(far)
+
+    def test_delivery_rate_monotone_in_snr_trend(self, small_layout):
+        measurements = measure_all_links(small_layout)
+        strong = [m.delivery_rate_6mbps for m in measurements if m.snr_db > 30.0]
+        weak = [m.delivery_rate_6mbps for m in measurements if m.snr_db < 10.0]
+        assert min(strong) > max(weak)
+
+    def test_delivery_band_helper(self, small_layout):
+        ids = small_layout.node_ids
+        measurement = measure_link(small_layout, ids[0], ids[1])
+        assert measurement.in_delivery_band(0.0, 1.0)
+
+    def test_probe_rate_affects_delivery(self, small_layout):
+        ids = small_layout.node_ids
+        pair = None
+        for m in measure_all_links(small_layout):
+            if 10.0 < m.snr_db < 18.0:
+                pair = (m.src, m.dst)
+                break
+        assert pair is not None, "expected at least one marginal link in the layout"
+        slow = measure_link(small_layout, *pair, probe_rate=rate_by_mbps(6.0))
+        fast = measure_link(small_layout, *pair, probe_rate=rate_by_mbps(54.0))
+        assert slow.delivery_rate_6mbps > fast.delivery_rate_6mbps
+
+    def test_rssi_survey_structure(self, small_layout):
+        survey = rssi_survey(small_layout, seed=1)
+        n_nodes = len(small_layout.node_ids)
+        total_pairs = n_nodes * (n_nodes - 1) // 2
+        assert len(survey["distances"]) + len(survey["censored_distances"]) == total_pairs
+        assert len(survey["distances"]) == len(survey["snr_db"])
+
+    def test_rssi_survey_censors_weak_links(self, office_layout):
+        survey = rssi_survey(office_layout, detection_threshold_dbm=-80.0, seed=1)
+        strict = rssi_survey(office_layout, detection_threshold_dbm=-95.0, seed=1)
+        assert len(survey["censored_distances"]) > len(strict["censored_distances"])
+
+
+class TestPairSelection:
+    def test_short_links_have_high_delivery(self, office_layout):
+        links = select_links(office_layout, "short", max_links=50)
+        assert links
+        assert all(l.measurement.delivery_rate_6mbps >= 0.94 for l in links)
+
+    def test_long_links_in_band(self, office_layout):
+        links = select_links(office_layout, "long", max_links=50)
+        assert links
+        assert all(0.80 <= l.measurement.delivery_rate_6mbps <= 0.95 for l in links)
+
+    def test_long_links_weaker_than_short(self, office_layout):
+        short = select_links(office_layout, "short", max_links=100)
+        long_ = select_links(office_layout, "long", max_links=100)
+        assert np.mean([l.measurement.snr_db for l in short]) > np.mean(
+            [l.measurement.snr_db for l in long_]
+        )
+
+    def test_prefer_nearby_fraction_shortens_links(self, office_layout):
+        all_links = select_links(office_layout, "long")
+        near_links = select_links(office_layout, "long", prefer_nearby_fraction=0.3)
+        assert np.mean([l.measurement.distance_m for l in near_links]) < np.mean(
+            [l.measurement.distance_m for l in all_links]
+        )
+
+    def test_unknown_class_rejected(self, office_layout):
+        with pytest.raises(ValueError):
+            select_links(office_layout, "medium")
+
+    def test_invalid_nearby_fraction_rejected(self, office_layout):
+        with pytest.raises(ValueError):
+            select_links(office_layout, "short", prefer_nearby_fraction=0.0)
+
+    def test_competing_pairs_are_disjoint_and_sorted(self, office_layout):
+        combos = select_competing_pairs(office_layout, "short", n_combinations=6, seed=2)
+        assert 1 <= len(combos) <= 6
+        rssi = [c.sender_sender_rssi_dbm for c in combos]
+        assert rssi == sorted(rssi, reverse=True)
+        for combo in combos:
+            assert len(set(combo.node_ids)) == 4
+
+    def test_competing_pairs_span_a_wide_rssi_range(self, office_layout):
+        combos = select_competing_pairs(office_layout, "short", n_combinations=8, seed=2)
+        rssi = [c.sender_sender_rssi_dbm for c in combos]
+        assert max(rssi) - min(rssi) > 30.0
+
+    def test_reproducible_selection(self, office_layout):
+        a = select_competing_pairs(office_layout, "short", n_combinations=5, seed=9)
+        b = select_competing_pairs(office_layout, "short", n_combinations=5, seed=9)
+        assert [c.node_ids for c in a] == [c.node_ids for c in b]

@@ -1,0 +1,90 @@
+"""Tests for repro.units: dB / linear / dBm conversions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestDbLinearConversions:
+    def test_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_factor_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_linear_to_db_of_100(self):
+        assert units.linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_zero_power_maps_to_minus_infinity(self):
+        assert units.linear_to_db(0.0) == -math.inf
+
+    def test_negative_power_maps_to_minus_infinity(self):
+        assert units.linear_to_db(-5.0) == -math.inf
+
+    def test_array_round_trip(self):
+        values = np.array([-30.0, -3.0, 0.0, 3.0, 30.0])
+        round_trip = units.linear_to_db(units.db_to_linear(values))
+        np.testing.assert_allclose(round_trip, values, atol=1e-12)
+
+    @given(st.floats(min_value=-150.0, max_value=150.0))
+    def test_round_trip_property(self, value_db):
+        assert units.linear_to_db(units.db_to_linear(value_db)) == pytest.approx(
+            value_db, abs=1e-9
+        )
+
+    @given(st.floats(min_value=-150.0, max_value=150.0), st.floats(min_value=-150.0, max_value=150.0))
+    def test_db_addition_is_linear_multiplication(self, a_db, b_db):
+        product = units.db_to_linear(a_db) * units.db_to_linear(b_db)
+        assert units.linear_to_db(product) == pytest.approx(a_db + b_db, abs=1e-6)
+
+
+class TestDbmConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+        assert units.dbm_to_milliwatts(0.0) == pytest.approx(1.0)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm_round_trip(self):
+        assert units.watts_to_dbm(units.dbm_to_watts(17.0)) == pytest.approx(17.0)
+
+    @given(st.floats(min_value=-120.0, max_value=60.0))
+    def test_milliwatt_round_trip_property(self, dbm):
+        assert units.milliwatts_to_dbm(units.dbm_to_milliwatts(dbm)) == pytest.approx(
+            dbm, abs=1e-9
+        )
+
+
+class TestSnrAndDistanceEquivalents:
+    def test_snr_db(self):
+        assert units.snr_db(100.0, 1.0) == pytest.approx(20.0)
+
+    def test_distance_factor_for_14db_alpha3(self):
+        # Section 3.4: 14 dB is about a 3x distance factor under alpha = 3.
+        factor = units.ratio_to_distance_factor(14.0, alpha=3.0)
+        assert factor == pytest.approx(2.92, abs=0.05)
+
+    def test_distance_factor_round_trip(self):
+        db = units.distance_factor_to_db(2.0, alpha=3.5)
+        assert units.ratio_to_distance_factor(db, alpha=3.5) == pytest.approx(2.0)
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ValueError):
+            units.ratio_to_distance_factor(10.0, alpha=0.0)
+        with pytest.raises(ValueError):
+            units.distance_factor_to_db(2.0, alpha=-1.0)
+
+
+class TestRateConversions:
+    def test_mbps_to_bps(self):
+        assert units.mbps_to_bps(54.0) == pytest.approx(54e6)
+
+    def test_bps_to_mbps(self):
+        assert units.bps_to_mbps(6e6) == pytest.approx(6.0)
