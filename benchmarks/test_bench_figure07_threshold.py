@@ -15,13 +15,22 @@ def test_figure07_optimal_threshold_curves(benchmark):
         n_samples=12_000,
     )
     curves = result.data["curves"]
-    # Thresholds grow with network radius for every propagation exponent.
-    # (Individual long-range points can dip -- shadowing shifts the long-range
-    # optimum leftward, Section 3.4 -- and extreme-long-range points where no
-    # crossing exists are skipped, so only the overall rise is asserted.)
+    # Thresholds grow with network radius through the short and intermediate
+    # regimes for every propagation exponent.  The *last* retained point can
+    # sit below the *first* for steep alpha: with 8 dB shadowing the
+    # long-range optimum shifts leftward (Section 3.4), and for alpha = 4 the
+    # dip is genuine model behaviour, not sampling noise (it converges to the
+    # same value at 200k samples).  So the rise is asserted as peak-over-start
+    # and as monotone growth while the network is still short/intermediate
+    # range, instead of last-over-first.
     for curve in curves.values():
         assert len(curve["threshold"]) >= 2
-        assert curve["threshold"][-1] > curve["threshold"][0]
+        assert max(curve["threshold"]) > curve["threshold"][0]
+        pre_long = [
+            t for t, regime in zip(curve["threshold"], curve["regime"])
+            if regime != "long"
+        ]
+        assert pre_long == sorted(pre_long)
     # The alpha = 3 curve spans the regimes the paper marks with the dashed
     # lines: short range at small Rmax, long range at large Rmax, and
     # threshold values in the band Figure 7 plots (a few tens of units).

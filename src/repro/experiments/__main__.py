@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments table-1        # run one experiment
     python -m repro.experiments --all          # run every analytical experiment
     python -m repro.experiments --all --full   # include the (slow) testbed campaigns
+    python -m repro.experiments run-scenarios --topology scale_free --nodes 50 --workers 4
 """
 
 from __future__ import annotations
@@ -21,6 +22,13 @@ SLOW_EXPERIMENTS = ("figures-10-11", "figures-12-13", "section-5")
 
 
 def main(argv: list[str] | None = None) -> int:
+    args_in = sys.argv[1:] if argv is None else argv
+    if args_in and args_in[0] == "run-scenarios":
+        # The scenario sweep has its own argument grammar; delegate wholesale.
+        from .run_scenarios import main as run_scenarios_main
+
+        return run_scenarios_main(args_in[1:])
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiment", nargs="*", help="experiment id(s) to run")
     parser.add_argument("--all", action="store_true", help="run every registered experiment")
@@ -34,6 +42,7 @@ def main(argv: list[str] | None = None) -> int:
         for name in REGISTRY:
             marker = " (slow)" if name in SLOW_EXPERIMENTS else ""
             print(f"  {name}{marker}")
+        print("  run-scenarios (scenario sweeps; see run-scenarios --help)")
         return 0
 
     names = list(REGISTRY) if args.all else args.experiment

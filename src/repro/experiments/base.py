@@ -13,10 +13,44 @@ benchmark assertions consume them directly.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["ExperimentResult", "format_table"]
+from ..runner import BatchReport, BatchRunner, BatchTask, ResultCache
+
+__all__ = ["ExperimentResult", "format_table", "run_subtasks", "default_cache_dir"]
+
+#: Environment override for where experiment sweeps cache their results.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """The result-cache root: ``$REPRO_CACHE_DIR`` or ``.repro-cache/``."""
+    return os.environ.get(CACHE_DIR_ENV, ".repro-cache")
+
+
+def run_subtasks(
+    fn: str,
+    configs: Sequence[Mapping[str, Any]],
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    force: bool = False,
+) -> Tuple[List[Any], BatchReport]:
+    """Run an experiment's per-unit subtasks through the batch runner.
+
+    ``fn`` is the dotted path of a module-level task function; each config is
+    passed as keyword arguments.  ``cache_dir=None`` disables caching (the
+    right default for tests and for cheap analytical experiments);
+    ``workers <= 1`` runs in-process.  Returns the ordered results plus the
+    execution report, which callers typically surface via
+    ``result.add_note(report.summary())``.
+    """
+    tasks = [BatchTask(fn=fn, config=dict(config)) for config in configs]
+    cache = ResultCache(cache_dir) if cache_dir else None
+    runner = BatchRunner(workers=workers, cache=cache, force=force)
+    outcome = runner.run(tasks)
+    return outcome.results, outcome.report
 
 
 @dataclass

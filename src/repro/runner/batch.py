@@ -1,0 +1,142 @@
+"""Batch execution of picklable tasks over a multiprocessing pool.
+
+A :class:`BatchTask` names its function by dotted path rather than holding a
+callable, so tasks stay picklable under every start method and the cache key
+(function path + config) fully describes the computation.  ``workers <= 1``
+runs everything in-process, which keeps tests fast and stack traces simple.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache, config_hash
+
+__all__ = ["BatchTask", "BatchReport", "BatchOutcome", "BatchRunner", "resolve_callable"]
+
+
+def resolve_callable(dotted_path: str) -> Callable[..., Any]:
+    """Import ``"package.module.function"`` and return the function."""
+    module_name, _, attr = dotted_path.rpartition(".")
+    if not module_name:
+        raise ValueError(f"{dotted_path!r} is not a dotted module path")
+    module = importlib.import_module(module_name)
+    try:
+        fn = getattr(module, attr)
+    except AttributeError as exc:
+        raise AttributeError(f"module {module_name!r} has no attribute {attr!r}") from exc
+    if not callable(fn):
+        raise TypeError(f"{dotted_path!r} resolved to a non-callable {type(fn).__name__}")
+    return fn
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One unit of work: ``fn(**config)`` with a JSON-able config."""
+
+    fn: str
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cache_key(self) -> str:
+        return config_hash({"fn": self.fn, "config": self.config})
+
+
+def _execute(payload: Tuple[int, str, Dict[str, Any]]) -> Tuple[int, Any]:
+    """Worker entry point: run one task, tagged with its position."""
+    index, fn_path, config = payload
+    fn = resolve_callable(fn_path)
+    return index, fn(**config)
+
+
+@dataclass
+class BatchReport:
+    """Execution accounting for one :meth:`BatchRunner.run` call."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    workers: int = 1
+    elapsed_s: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} tasks: {self.executed} executed, "
+            f"{self.cache_hits} cache hits ({self.workers} worker(s), "
+            f"{self.elapsed_s:.2f}s)"
+        )
+
+
+@dataclass
+class BatchOutcome:
+    """Ordered task results plus the execution report."""
+
+    results: List[Any]
+    report: BatchReport
+
+
+class BatchRunner:
+    """Runs batches of tasks with optional parallelism and result caching."""
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: Optional[ResultCache] = None,
+        force: bool = False,
+    ) -> None:
+        """``workers <= 1`` means in-process serial execution.
+
+        ``force`` re-executes every task even on a cache hit (results are
+        re-written), which is how a sweep is refreshed after a model change
+        without clearing the whole cache directory.
+        """
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.workers = int(workers)
+        self.cache = cache
+        self.force = force
+
+    def run(self, tasks: Sequence[BatchTask], progress: Callable[[str], None] | None = None) -> BatchOutcome:
+        """Execute the batch; results come back in task order."""
+        start = time.perf_counter()
+        report = BatchReport(total=len(tasks), workers=max(1, self.workers))
+        results: List[Any] = [None] * len(tasks)
+
+        pending: List[Tuple[int, str, Dict[str, Any]]] = []
+        for index, task in enumerate(tasks):
+            cached = None
+            if self.cache is not None and not self.force:
+                cached = self.cache.get(task.cache_key)
+            if cached is not None:
+                results[index] = cached["result"]
+                report.cache_hits += 1
+            else:
+                pending.append((index, task.fn, dict(task.config)))
+
+        if pending and progress is not None:
+            progress(f"executing {len(pending)}/{len(tasks)} tasks "
+                     f"({report.cache_hits} cached)")
+
+        if self.workers > 1 and len(pending) > 1:
+            with multiprocessing.Pool(processes=self.workers) as pool:
+                for index, result in pool.imap_unordered(_execute, pending):
+                    results[index] = result
+                    report.executed += 1
+                    self._store(tasks[index], result)
+        else:
+            for payload in pending:
+                index, result = _execute(payload)
+                results[index] = result
+                report.executed += 1
+                self._store(tasks[index], result)
+
+        report.elapsed_s = time.perf_counter() - start
+        return BatchOutcome(results=results, report=report)
+
+    def _store(self, task: BatchTask, result: Any) -> None:
+        if self.cache is not None:
+            self.cache.put(task.cache_key, {"fn": task.fn, "config": task.config}, result)

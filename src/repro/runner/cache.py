@@ -1,0 +1,105 @@
+"""Disk cache for batch-task results, keyed by a stable config hash.
+
+Results are stored as JSON files under ``<root>/<hh>/<hash>.json`` where
+``hh`` is the first two hex digits of the key (keeps directories small on
+large sweeps).  Writes go through a temp file plus :func:`os.replace` so a
+crashed worker never leaves a half-written entry behind, and concurrent
+writers of the same key are safe (last writer wins with identical content).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["config_hash", "ResultCache"]
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce a config to a canonical JSON-able form for hashing.
+
+    Tuples become lists, mapping keys are coerced to strings (JSON does this
+    anyway; doing it explicitly keeps the hash independent of key *type*),
+    and sets are rejected because their iteration order is not stable.
+    """
+    if isinstance(obj, dict):
+        return {str(key): _canonical(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(value) for value in obj]
+    if isinstance(obj, (set, frozenset)):
+        raise TypeError("sets have no stable order; use a sorted list in configs")
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ValueError(f"non-finite float {obj!r} cannot be cached stably")
+        # 20.0 and 20 hash identically, so CLI-parsed floats match API ints.
+        if obj == int(obj) and abs(obj) < 2**53:
+            return int(obj)
+    return obj
+
+
+def config_hash(config: Any) -> str:
+    """Stable hex digest of a JSON-able config (order-insensitive for dicts)."""
+    payload = json.dumps(_canonical(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A content-addressed store of task results on disk."""
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached entry for ``key`` (``{"config", "result"}``) or ``None``."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def get_result(self, key: str) -> Optional[Any]:
+        entry = self.get(key)
+        return None if entry is None else entry["result"]
+
+    def put(self, key: str, config: Any, result: Any) -> Path:
+        """Store a result (must be JSON-able); returns the entry path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"key": key, "config": _canonical(config), "result": result},
+            sort_keys=True,
+        )
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,49 @@
+"""Worker entry points for running scenarios through the batch runner.
+
+:func:`run_scenario` is the module-level function the runner's worker
+processes resolve by dotted path (``repro.scenarios.execute.run_scenario``);
+it takes the flattened scenario config as keyword arguments, so a task's
+config is exactly :meth:`Scenario.as_config`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..runner.batch import BatchTask
+from .spec import Scenario
+
+__all__ = ["run_scenario", "scenario_task", "aggregate_metrics"]
+
+RUN_SCENARIO_PATH = "repro.scenarios.execute.run_scenario"
+
+
+def run_scenario(**config: Any) -> Dict[str, Any]:
+    """Build and run one scenario from its plain-dict config."""
+    return Scenario.from_config(config).run()
+
+
+def scenario_task(scenario: Scenario) -> BatchTask:
+    """The batch task that runs ``scenario`` in a worker process."""
+    return BatchTask(fn=RUN_SCENARIO_PATH, config=scenario.as_config())
+
+
+def aggregate_metrics(results: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Summarise a batch of scenario results into sweep-level statistics."""
+    if not results:
+        return {"n_scenarios": 0}
+    totals = np.asarray([r["total_pps"] for r in results], dtype=float)
+    by_topology: Dict[str, List[float]] = {}
+    for r in results:
+        by_topology.setdefault(r["topology"], []).append(r["total_pps"])
+    return {
+        "n_scenarios": len(results),
+        "total_pps_mean": float(totals.mean()),
+        "total_pps_min": float(totals.min()),
+        "total_pps_max": float(totals.max()),
+        "by_topology_mean_pps": {
+            name: float(np.mean(values)) for name, values in sorted(by_topology.items())
+        },
+    }

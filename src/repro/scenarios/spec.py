@@ -1,0 +1,201 @@
+"""Declarative scenario specification: topology + propagation + traffic + MAC.
+
+A :class:`Scenario` is the whole-network analogue of the two-pair
+:class:`repro.core.geometry.Scenario`: a frozen, JSON-able description of a
+network that can be expanded into a :class:`WirelessNetwork` and run.  Because
+the spec round-trips through plain dicts (:meth:`as_config` /
+:meth:`from_config`), scenarios travel cleanly across multiprocessing workers
+and hash stably for the result cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..constants import DEFAULT_TX_POWER_DBM, EXPERIMENT_PAYLOAD_BYTES, FREQ_5_GHZ
+from ..propagation.channel import ChannelModel
+from ..propagation.pathloss import LogDistancePathLoss
+from ..simulation.mac.tdma import TdmaSchedule
+from ..simulation.network import WirelessNetwork
+from ..simulation.traffic import PoissonTraffic, SaturatedTraffic
+from .topologies import Placement, generate_topology
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully specified whole-network scenario.
+
+    Groups four concerns:
+
+    * **topology** -- generator name, node count, spatial extent, seed, and
+      free-form generator parameters;
+    * **propagation** -- log-distance path loss anchored like the synthetic
+      testbed, lognormal shadowing, transmit power;
+    * **traffic** -- saturated (the paper's protocol) or Poisson open-loop
+      sources on every flow sender;
+    * **MAC** -- csma (with carrier-sense threshold, optionally disabled by
+      ``cca_threshold_dbm=None``) or an ideal round-robin tdma schedule.
+    """
+
+    name: str = "scenario"
+    # topology
+    topology: str = "uniform_disc"
+    n_nodes: int = 10
+    extent_m: float = 120.0
+    seed: int = 0
+    topology_params: Dict[str, Any] = field(default_factory=dict)
+    # propagation
+    alpha: float = 3.6
+    sigma_db: float = 0.0
+    frequency_hz: float = FREQ_5_GHZ
+    tx_power_dbm: float = DEFAULT_TX_POWER_DBM
+    reference_distance_m: float = 20.0
+    reference_loss_db: float = 77.0
+    # traffic
+    traffic: str = "saturated"
+    offered_load_pps: float = 200.0
+    payload_bytes: int = EXPERIMENT_PAYLOAD_BYTES
+    # MAC
+    mac: str = "csma"
+    cca_threshold_dbm: Optional[float] = -82.0
+    rate_mbps: float = 6.0
+    use_acks: bool = False
+    use_rts_cts: bool = False
+    tdma_slot_s: float = 0.02
+    # measurement
+    duration_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError("a scenario needs at least two nodes")
+        for name in ("extent_m", "sigma_db", "duration_s", "alpha", "rate_mbps",
+                     "offered_load_pps", "tx_power_dbm"):
+            if not math.isfinite(getattr(self, name)):
+                raise ValueError(f"{name} must be finite")
+        if self.extent_m <= 0:
+            raise ValueError("extent_m must be positive")
+        if self.sigma_db < 0:
+            raise ValueError("sigma_db must be non-negative")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.traffic not in ("saturated", "poisson"):
+            raise ValueError(f"unknown traffic model {self.traffic!r}")
+        if self.mac not in ("csma", "tdma"):
+            raise ValueError(f"unknown MAC {self.mac!r}")
+
+    # -- construction ----------------------------------------------------------
+
+    def placement(self) -> Placement:
+        """The deterministic node placement for this spec."""
+        return generate_topology(
+            self.topology,
+            n_nodes=self.n_nodes,
+            extent=self.extent_m,
+            seed=self.seed,
+            **dict(self.topology_params),
+        )
+
+    def channel(self) -> ChannelModel:
+        """A freshly seeded physical channel for this spec."""
+        return ChannelModel(
+            path_loss=LogDistancePathLoss(
+                alpha=self.alpha,
+                frequency_hz=self.frequency_hz,
+                reference_distance_m=self.reference_distance_m,
+                reference_loss_db=self.reference_loss_db,
+            ),
+            sigma_db=self.sigma_db,
+            tx_power_dbm=self.tx_power_dbm,
+            rng=np.random.default_rng(np.random.SeedSequence(entropy=(int(self.seed), 1))),
+        )
+
+    def build_network(self) -> Tuple[WirelessNetwork, Placement]:
+        """Expand the spec into a ready-to-run :class:`WirelessNetwork`."""
+        placement = self.placement()
+        net = WirelessNetwork(
+            channel=self.channel(),
+            seed=self.seed,
+            cca_threshold_dbm=self.cca_threshold_dbm,
+        )
+        senders = {src: dst for src, dst in placement.flows}
+        schedule = None
+        if self.mac == "tdma":
+            schedule = TdmaSchedule(
+                slot_duration_s=self.tdma_slot_s,
+                slot_owners=tuple(senders) or tuple(placement.positions),
+            )
+        for node_id, position in placement.positions.items():
+            traffic = None
+            if node_id in senders:
+                if self.traffic == "saturated":
+                    traffic = SaturatedTraffic(
+                        destination=senders[node_id], payload_bytes=self.payload_bytes
+                    )
+                else:
+                    traffic = PoissonTraffic(
+                        sim=net.sim,
+                        rate_pps=self.offered_load_pps,
+                        destination=senders[node_id],
+                        payload_bytes=self.payload_bytes,
+                        rng=net._child_rng(),
+                    )
+            kwargs: Dict[str, Any] = {}
+            if self.mac == "csma":
+                kwargs.update(use_acks=self.use_acks, use_rts_cts=self.use_rts_cts)
+            net.add_node(
+                node_id,
+                position,
+                mac=self.mac,
+                traffic=traffic,
+                rate_mbps=self.rate_mbps,
+                tdma_schedule=schedule,
+                **kwargs,
+            )
+        return net, placement
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> Dict[str, Any]:
+        """Run the scenario and return JSON-able per-flow and aggregate metrics."""
+        net, placement = self.build_network()
+        outcome = net.run(self.duration_s)
+        per_flow: Dict[str, float] = {}
+        for src, dst in placement.flows:
+            per_flow[f"{src}->{dst}"] = outcome.link(src, dst).packets_per_second
+        flow_rates = list(per_flow.values())
+        return {
+            "name": self.name,
+            "topology": self.topology,
+            "n_nodes": self.n_nodes,
+            "n_flows": len(placement.flows),
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "total_pps": float(sum(flow_rates)),
+            "mean_flow_pps": float(np.mean(flow_rates)) if flow_rates else 0.0,
+            "min_flow_pps": float(min(flow_rates)) if flow_rates else 0.0,
+            "max_flow_pps": float(max(flow_rates)) if flow_rates else 0.0,
+            "per_flow_pps": per_flow,
+            "events_processed": outcome.events_processed,
+        }
+
+    # -- (de)serialisation -----------------------------------------------------
+
+    def as_config(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-able) suitable for tasks and cache keys."""
+        config = asdict(self)
+        config["topology_params"] = dict(self.topology_params)
+        return config
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "Scenario":
+        return cls(**dict(config))
+
+    def with_overrides(self, **overrides: Any) -> "Scenario":
+        """A copy of the spec with the given fields replaced."""
+        return replace(self, **overrides)

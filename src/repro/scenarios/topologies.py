@@ -1,0 +1,323 @@
+"""Seeded topology generators for whole-network scenarios.
+
+Every generator maps ``(n_nodes, extent, rng, **params)`` to a
+:class:`Placement`: node positions plus the directed sender -> receiver
+traffic flows, ready to feed :class:`repro.simulation.network.WirelessNetwork`.
+Generators are registered by name in :data:`TOPOLOGIES` so sweeps and the
+CLI can select them declaratively.
+
+All generators are deterministic for a given seed (canonical layouts carry a
+small seeded jitter so distinct seeds still give distinct buildings), respect
+``n_nodes`` exactly (nodes that do not fit the layout's group size become
+passive listeners), and keep every coordinate inside the box
+``[-1.5 * extent, 1.5 * extent]``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Placement",
+    "TOPOLOGIES",
+    "register_topology",
+    "generate_topology",
+]
+
+Position = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Node placements and traffic flows produced by a topology generator."""
+
+    topology: str
+    positions: Dict[str, Position]
+    flows: Tuple[Tuple[str, str], ...]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.positions)
+
+    @property
+    def senders(self) -> Tuple[str, ...]:
+        return tuple(src for src, _ in self.flows)
+
+    def bounding_radius(self) -> float:
+        """Largest coordinate magnitude over all nodes."""
+        if not self.positions:
+            return 0.0
+        coords = np.asarray(list(self.positions.values()))
+        return float(np.abs(coords).max())
+
+
+Generator = Callable[..., Placement]
+
+#: Registry of topology name -> generator function.
+TOPOLOGIES: Dict[str, Generator] = {}
+
+
+def register_topology(name: str) -> Callable[[Generator], Generator]:
+    """Class-less plugin hook: ``@register_topology("my_layout")``."""
+
+    def decorator(fn: Generator) -> Generator:
+        if name in TOPOLOGIES:
+            raise ValueError(f"topology {name!r} already registered")
+        TOPOLOGIES[name] = fn
+        return fn
+
+    return decorator
+
+
+def generate_topology(name: str, n_nodes: int, extent: float, seed: int, **params) -> Placement:
+    """Instantiate a registered topology deterministically from a seed."""
+    if name not in TOPOLOGIES:
+        known = ", ".join(sorted(TOPOLOGIES))
+        raise KeyError(f"unknown topology {name!r} (known: {known})")
+    if n_nodes < 2:
+        raise ValueError("a scenario needs at least two nodes")
+    if extent <= 0:
+        raise ValueError("extent must be positive")
+    # Mix the topology name into the seed deterministically (``hash()`` is
+    # randomised per process, which would break cross-process reproducibility).
+    name_tag = zlib.crc32(name.encode("utf-8"))
+    rng = np.random.default_rng(np.random.SeedSequence(entropy=(int(seed), name_tag)))
+    return TOPOLOGIES[name](n_nodes=n_nodes, extent=extent, rng=rng, **params)
+
+
+def _node_id(index: int) -> str:
+    return f"n{index:03d}"
+
+
+def _clip_box(x: float, y: float, extent: float) -> Position:
+    bound = 1.5 * extent
+    return (float(np.clip(x, -bound, bound)), float(np.clip(y, -bound, bound)))
+
+
+def _pair_consecutive(order: List[str]) -> Tuple[Tuple[str, str], ...]:
+    """Flows pairing order[0]->order[1], order[2]->order[3], ...; leftover idle."""
+    return tuple((order[i], order[i + 1]) for i in range(0, len(order) - 1, 2))
+
+
+@register_topology("uniform_disc")
+def uniform_disc(
+    n_nodes: int, extent: float, rng: np.random.Generator, link_range_frac: float = 0.2
+) -> Placement:
+    """Senders uniform over a disc; each receiver within range of its sender.
+
+    The continuum analogue of the paper's model geometry: sender positions are
+    uniform over the disc of radius ``extent`` and each sender's receiver is
+    uniform over the disc of radius ``link_range_frac * extent`` around it.
+    """
+    positions: Dict[str, Position] = {}
+    flows: List[Tuple[str, str]] = []
+    n_pairs = n_nodes // 2
+    for pair in range(n_pairs):
+        r = float(np.sqrt(rng.uniform(0.0, 1.0)) * extent)
+        theta = float(rng.uniform(0.0, 2.0 * np.pi))
+        sx, sy = r * np.cos(theta), r * np.sin(theta)
+        link = float(np.sqrt(rng.uniform(0.0, 1.0)) * link_range_frac * extent)
+        link = max(link, 1.0)
+        phi = float(rng.uniform(0.0, 2.0 * np.pi))
+        sender, receiver = _node_id(2 * pair), _node_id(2 * pair + 1)
+        positions[sender] = _clip_box(sx, sy, extent)
+        positions[receiver] = _clip_box(sx + link * np.cos(phi), sy + link * np.sin(phi), extent)
+        flows.append((sender, receiver))
+    if n_nodes % 2:
+        r = float(np.sqrt(rng.uniform(0.0, 1.0)) * extent)
+        theta = float(rng.uniform(0.0, 2.0 * np.pi))
+        positions[_node_id(n_nodes - 1)] = _clip_box(
+            r * np.cos(theta), r * np.sin(theta), extent
+        )
+    return Placement("uniform_disc", positions, tuple(flows))
+
+
+@register_topology("grid")
+def grid(
+    n_nodes: int, extent: float, rng: np.random.Generator, jitter_frac: float = 0.15
+) -> Placement:
+    """A jittered square grid over ``[0, extent]^2``, adjacent nodes paired."""
+    cols = int(np.ceil(np.sqrt(n_nodes)))
+    rows = int(np.ceil(n_nodes / cols))
+    dx, dy = extent / cols, extent / rows
+    order: List[str] = []
+    positions: Dict[str, Position] = {}
+    index = 0
+    for row in range(rows):
+        for col in range(cols):
+            if index >= n_nodes:
+                break
+            x = (col + 0.5) * dx + float(rng.uniform(-jitter_frac, jitter_frac)) * dx
+            y = (row + 0.5) * dy + float(rng.uniform(-jitter_frac, jitter_frac)) * dy
+            node = _node_id(index)
+            positions[node] = _clip_box(np.clip(x, 0.0, extent), np.clip(y, 0.0, extent), extent)
+            order.append(node)
+            index += 1
+    return Placement("grid", positions, _pair_consecutive(order))
+
+
+@register_topology("clustered")
+def clustered(
+    n_nodes: int,
+    extent: float,
+    rng: np.random.Generator,
+    n_clusters: int = 3,
+    spread_frac: float = 0.08,
+) -> Placement:
+    """Hotspot clusters: nodes gather around a few centres, flows stay local."""
+    if n_clusters < 1:
+        raise ValueError("need at least one cluster")
+    n_clusters = min(n_clusters, n_nodes // 2) or 1
+    centres = rng.uniform(0.1 * extent, 0.9 * extent, size=(n_clusters, 2))
+    assignment = rng.integers(0, n_clusters, size=n_nodes)
+    positions: Dict[str, Position] = {}
+    members: List[List[str]] = [[] for _ in range(n_clusters)]
+    for index in range(n_nodes):
+        cluster = int(assignment[index])
+        cx, cy = centres[cluster]
+        x = cx + float(rng.normal(0.0, spread_frac * extent))
+        y = cy + float(rng.normal(0.0, spread_frac * extent))
+        node = _node_id(index)
+        positions[node] = _clip_box(x, y, extent)
+        members[cluster].append(node)
+    flows: List[Tuple[str, str]] = []
+    for cluster_nodes in members:
+        flows.extend(_pair_consecutive(cluster_nodes))
+    return Placement("clustered", positions, tuple(flows))
+
+
+@register_topology("scale_free")
+def scale_free(
+    n_nodes: int,
+    extent: float,
+    rng: np.random.Generator,
+    attach_range_frac: float = 0.15,
+) -> Placement:
+    """Preferential attachment: heavy-tailed hub degrees in space.
+
+    Node ``i`` attaches to an earlier node chosen with probability
+    proportional to its degree (Barabasi-Albert with m = 1) and is placed a
+    short hop away from it, so hubs accumulate both graph degree and local
+    node density -- the regime where carrier sense behaves very differently
+    from a uniform disc ("Communication Bottlenecks in Scale-Free Networks").
+    Every attachment edge becomes an uplink flow towards the hub.
+    """
+    positions: Dict[str, Position] = {_node_id(0): (extent / 2.0, extent / 2.0)}
+    degrees = [1.0]
+    flows: List[Tuple[str, str]] = []
+    for index in range(1, n_nodes):
+        weights = np.asarray(degrees) / float(np.sum(degrees))
+        target = int(rng.choice(len(degrees), p=weights))
+        tx, ty = positions[_node_id(target)]
+        hop = float(rng.uniform(0.3, 1.0)) * attach_range_frac * extent
+        phi = float(rng.uniform(0.0, 2.0 * np.pi))
+        node = _node_id(index)
+        positions[node] = _clip_box(tx + hop * np.cos(phi), ty + hop * np.sin(phi), extent)
+        flows.append((node, _node_id(target)))
+        degrees[target] += 1.0
+        degrees.append(1.0)
+    return Placement("scale_free", positions, tuple(flows))
+
+
+@register_topology("hidden_terminal")
+def hidden_terminal(
+    n_nodes: int,
+    extent: float,
+    rng: np.random.Generator,
+    jitter_frac: float = 0.02,
+) -> Placement:
+    """Rows of the canonical A ... R ... B geometry (senders out of range).
+
+    Each group of three nodes is a hidden-terminal cell: two senders at the
+    ends of a span of length ``extent``, their shared receiver in the middle.
+    Rows are stacked ``extent`` apart so cells interact only weakly.
+    """
+    if n_nodes < 3:
+        raise ValueError("hidden_terminal needs at least three nodes")
+    positions: Dict[str, Position] = {}
+    flows: List[Tuple[str, str]] = []
+    n_groups = n_nodes // 3
+    jitter = lambda: float(rng.normal(0.0, jitter_frac * extent))  # noqa: E731
+    for group in range(n_groups):
+        y = group * extent / max(1, n_groups - 1) if n_groups > 1 else 0.0
+        a = _node_id(3 * group)
+        b = _node_id(3 * group + 1)
+        r = _node_id(3 * group + 2)
+        positions[a] = _clip_box(jitter(), y + jitter(), extent)
+        positions[b] = _clip_box(extent + jitter(), y + jitter(), extent)
+        positions[r] = _clip_box(extent / 2.0 + jitter(), y + jitter(), extent)
+        flows.append((a, r))
+        flows.append((b, r))
+    for extra in range(3 * n_groups, n_nodes):
+        positions[_node_id(extra)] = _clip_box(
+            float(rng.uniform(0.0, extent)), -0.25 * extent + jitter(), extent
+        )
+    return Placement("hidden_terminal", positions, tuple(flows))
+
+
+@register_topology("exposed_terminal")
+def exposed_terminal(
+    n_nodes: int,
+    extent: float,
+    rng: np.random.Generator,
+    sender_gap_frac: float = 0.25,
+    link_frac: float = 0.07,
+    jitter_frac: float = 0.02,
+) -> Placement:
+    """Rows of the canonical R1 <- S1 ... S2 -> R2 geometry.
+
+    The two senders hear each other (gap ``sender_gap_frac * extent``) while
+    their receivers face away, so carrier sense needlessly serialises flows
+    that could run concurrently.
+    """
+    if n_nodes < 4:
+        raise ValueError("exposed_terminal needs at least four nodes")
+    positions: Dict[str, Position] = {}
+    flows: List[Tuple[str, str]] = []
+    n_groups = n_nodes // 4
+    gap = sender_gap_frac * extent
+    link = max(link_frac * extent, 1.0)
+    jitter = lambda: float(rng.normal(0.0, jitter_frac * extent))  # noqa: E731
+    for group in range(n_groups):
+        y = group * extent / max(1, n_groups - 1) if n_groups > 1 else 0.0
+        s1 = _node_id(4 * group)
+        r1 = _node_id(4 * group + 1)
+        s2 = _node_id(4 * group + 2)
+        r2 = _node_id(4 * group + 3)
+        positions[s1] = _clip_box(jitter(), y + jitter(), extent)
+        positions[r1] = _clip_box(-link + jitter(), y + jitter(), extent)
+        positions[s2] = _clip_box(gap + jitter(), y + jitter(), extent)
+        positions[r2] = _clip_box(gap + link + jitter(), y + jitter(), extent)
+        flows.append((s1, r1))
+        flows.append((s2, r2))
+    for extra in range(4 * n_groups, n_nodes):
+        positions[_node_id(extra)] = _clip_box(
+            float(rng.uniform(0.0, extent)), -0.25 * extent + jitter(), extent
+        )
+    return Placement("exposed_terminal", positions, tuple(flows))
+
+
+@register_topology("line")
+def line(
+    n_nodes: int,
+    extent: float,
+    rng: np.random.Generator,
+    jitter_frac: float = 0.02,
+) -> Placement:
+    """A corridor: nodes evenly spaced along a line, adjacent nodes paired."""
+    spacing = extent / max(1, n_nodes - 1)
+    order: List[str] = []
+    positions: Dict[str, Position] = {}
+    for index in range(n_nodes):
+        node = _node_id(index)
+        positions[node] = _clip_box(
+            index * spacing + float(rng.normal(0.0, jitter_frac * spacing)),
+            float(rng.normal(0.0, jitter_frac * extent)),
+            extent,
+        )
+        order.append(node)
+    return Placement("line", positions, _pair_consecutive(order))

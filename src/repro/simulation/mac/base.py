@@ -98,5 +98,22 @@ class MacBase:
         return self._sequence
 
     def attach_traffic(self, traffic) -> None:
-        """Connect the node's traffic source (called by Node)."""
+        """Connect the node's traffic source (called by Node).
+
+        Open-loop sources expose an ``on_arrival`` hook; wiring it here (the
+        single chokepoint every construction path goes through) means any
+        MAC that goes dormant on an empty queue is woken by the next arrival
+        without callers having to remember the plumbing.
+        """
         self.traffic = traffic
+        if getattr(traffic, "on_arrival", "absent") is None:
+            traffic.on_arrival = self.notify_traffic
+
+    def notify_traffic(self) -> None:
+        """Hint that the traffic source has packets again.
+
+        Open-loop sources (e.g. :class:`PoissonTraffic`) call this when a
+        packet arrives into an empty queue; MACs that go dormant on an empty
+        source override it to resume their access procedure.  The default is
+        a no-op, which is correct for MACs that poll on their own clock.
+        """

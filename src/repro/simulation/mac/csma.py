@@ -107,6 +107,11 @@ class CsmaMac(MacBase):
         if self._pending is not None:
             self._begin_access()
 
+    def notify_traffic(self) -> None:
+        """Resume access when a packet arrives while the MAC sits idle."""
+        if self._state == "idle" and self._pending is None:
+            self.start()
+
     def _load_next_frame(self) -> None:
         if self.traffic is None:
             self._pending = None
@@ -281,7 +286,11 @@ class CsmaMac(MacBase):
             if self._pending is not None and self._state == "responding":
                 self._begin_access()
             elif self._pending is None:
+                # Poll the traffic source before parking: an open-loop packet
+                # may have arrived while we were responding, and its
+                # notify_traffic nudge was ignored because the MAC was busy.
                 self._state = "idle"
+                self.start()
 
     def _on_frame_received(self, outcome: ReceptionOutcome) -> None:
         frame = outcome.frame

@@ -107,6 +107,7 @@ class TdmaMac(MacBase):
         self.schedule = schedule
         self.guard_time_s = guard_time_s
         self._pending: Optional[Frame] = None
+        self._wakeup = None
 
     def start(self) -> None:
         if self.node_id not in self.schedule.slot_owners:
@@ -137,17 +138,39 @@ class TdmaMac(MacBase):
     def _in_own_slot(self) -> bool:
         return self.schedule.owner_at(self.sim.now) == self.node_id
 
+    def _set_wakeup(self, delay_s: float) -> None:
+        """(Re)arm the single outstanding retry event."""
+        if self._wakeup is not None:
+            self._wakeup.cancel()
+        self._wakeup = self.sim.schedule(delay_s, self._try_transmit)
+
     def _schedule_wakeup(self) -> None:
         """Arrange to try transmitting at the start of the next owned slot."""
         next_start = self.schedule.next_slot_start(self.node_id, self.sim.now)
-        delay = max(next_start - self.sim.now, 0.0) + 1e-9
-        self.sim.schedule(delay, self._try_transmit)
+        self._set_wakeup(max(next_start - self.sim.now, 0.0) + 1e-9)
+
+    def _sleep_past_slot(self) -> None:
+        """Sleep to the end of the active slot, then look again."""
+        slot_end = self.schedule.slot_end_after(self.sim.now)
+        self._set_wakeup(max(slot_end - self.sim.now, 0.0) + 1e-9)
+
+    def notify_traffic(self) -> None:
+        """An open-loop arrival while dormant: look for a slot immediately."""
+        if self.node_id not in self.schedule.slot_owners:
+            # Slotless nodes never transmit (mirrors the start() guard).
+            return
+        if self._pending is None and not self.radio.is_transmitting:
+            self._set_wakeup(0.0)
 
     def _try_transmit(self) -> None:
+        self._wakeup = None
         if self._pending is None:
             self._load_next_frame()
         if self._pending is None:
-            self._schedule_wakeup()
+            # Queue empty: go dormant until the next slot boundary rather
+            # than retrying within the slot (an open-loop source wakes us
+            # sooner through notify_traffic; spinning here melts the engine).
+            self._sleep_past_slot()
             return
         if not self._in_own_slot() or self.radio.is_transmitting:
             self._schedule_wakeup()
@@ -156,7 +179,7 @@ class TdmaMac(MacBase):
         if self.sim.now + self._pending.airtime_s + self.guard_time_s > slot_end:
             # Frame no longer fits in this slot; sleep until the slot is over
             # and then look for the next owned slot.
-            self.sim.schedule(max(slot_end - self.sim.now, 0.0) + 1e-9, self._try_transmit)
+            self._sleep_past_slot()
             return
         frame = self._pending
         self.stats.data_frames_sent += 1
@@ -169,7 +192,7 @@ class TdmaMac(MacBase):
         self.rate_selector.report((self.node_id, frame.dst), frame.rate, True, frame.airtime_s)
         self._pending = None
         self._load_next_frame()
-        self.sim.schedule(0.0, self._try_transmit)
+        self._set_wakeup(0.0)
 
     def _on_channel_busy(self) -> None:
         return None

@@ -69,6 +69,9 @@ class PoissonTraffic(TrafficSource):
     packets_offered: int = 0
     packets_dropped: int = 0
     packets_sent: int = 0
+    #: Invoked whenever a packet arrives into an empty queue, so a dormant
+    #: MAC can resume its access procedure (see ``MacBase.notify_traffic``).
+    on_arrival: Optional[callable] = None
 
     def __post_init__(self) -> None:
         if self.rate_pps <= 0:
@@ -88,6 +91,8 @@ class PoissonTraffic(TrafficSource):
             self.packets_dropped += 1
         else:
             self._queue_depth += 1
+            if self._queue_depth == 1 and self.on_arrival is not None:
+                self.on_arrival()
         self._schedule_next_arrival()
 
     def next_packet(self) -> Optional[Packet]:

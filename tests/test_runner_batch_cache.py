@@ -1,0 +1,152 @@
+"""Batch runner: grid expansion, config hashing, caching, and pool execution."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import (
+    BatchRunner,
+    BatchTask,
+    ResultCache,
+    config_hash,
+    expand_grid,
+    per_task_seed,
+)
+from repro.runner.batch import resolve_callable
+from repro.scenarios import Scenario, scenario_task
+
+#: A cheap, pure, picklable module-level function usable as a batch task.
+SEED_TASK = "repro.runner.sweep.per_task_seed"
+
+
+class TestExpandGrid:
+    def test_cartesian_product_with_base(self):
+        configs = expand_grid({"alpha": 3.0}, {"rmax": [20, 55], "sigma": [0, 8]})
+        assert len(configs) == 4
+        assert configs[0] == {"alpha": 3.0, "rmax": 20, "sigma": 0}
+        assert configs[-1] == {"alpha": 3.0, "rmax": 55, "sigma": 8}
+
+    def test_last_axis_fastest_and_deterministic(self):
+        configs = expand_grid({}, {"a": [1, 2], "b": [10, 20]})
+        assert [(c["a"], c["b"]) for c in configs] == [(1, 10), (1, 20), (2, 10), (2, 20)]
+
+    def test_grid_overrides_base(self):
+        assert expand_grid({"x": 1}, {"x": [2]}) == [{"x": 2}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid({}, {"a": []})
+
+    def test_numpy_values_become_json_able(self):
+        import numpy as np
+
+        configs = expand_grid({}, {"rmax": np.asarray([20.0, 55.0])})
+        json.dumps(configs)
+
+
+class TestConfigHash:
+    def test_key_order_insensitive(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_value_sensitivity(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_integral_floats_match_ints(self):
+        # CLI-parsed "50" (float) and API-passed 50 (int) must hit the same entry.
+        assert config_hash({"n": 50.0}) == config_hash({"n": 50})
+        assert config_hash({"n": 50.5}) != config_hash({"n": 50})
+
+    def test_tuples_match_lists(self):
+        assert config_hash({"v": (1, 2)}) == config_hash({"v": [1, 2]})
+
+    def test_sets_rejected(self):
+        with pytest.raises(TypeError):
+            config_hash({"v": {1, 2}})
+
+    def test_non_finite_floats_rejected(self):
+        for bad in (float("inf"), float("-inf"), float("nan")):
+            with pytest.raises(ValueError, match="non-finite"):
+                config_hash({"v": bad})
+
+
+class TestPerTaskSeed:
+    def test_deterministic_and_distinct(self):
+        seeds = [per_task_seed(0, i) for i in range(64)]
+        assert seeds == [per_task_seed(0, i) for i in range(64)]
+        assert len(set(seeds)) == 64
+        assert per_task_seed(1, 0) != per_task_seed(0, 0)
+
+
+def test_resolve_callable():
+    assert resolve_callable(SEED_TASK) is per_task_seed
+    with pytest.raises(ValueError):
+        resolve_callable("no_dots")
+    with pytest.raises(AttributeError):
+        resolve_callable("repro.runner.sweep.nonexistent")
+
+
+class TestBatchRunner:
+    def _tasks(self, n=4):
+        return [
+            BatchTask(fn=SEED_TASK, config={"base_seed": 7, "index": i}) for i in range(n)
+        ]
+
+    def test_serial_results_ordered(self):
+        outcome = BatchRunner(workers=0).run(self._tasks())
+        assert outcome.results == [per_task_seed(7, i) for i in range(4)]
+        assert outcome.report.executed == 4
+        assert outcome.report.cache_hits == 0
+
+    def test_pool_matches_serial(self):
+        serial = BatchRunner(workers=0).run(self._tasks())
+        pooled = BatchRunner(workers=2).run(self._tasks())
+        assert pooled.results == serial.results
+
+    def test_second_run_is_pure_cache_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = BatchRunner(workers=0, cache=cache).run(self._tasks())
+        assert first.report.executed == 4
+        second = BatchRunner(workers=0, cache=ResultCache(tmp_path / "cache")).run(self._tasks())
+        assert second.report.executed == 0
+        assert second.report.cache_hits == 4
+        assert second.results == first.results
+
+    def test_force_reexecutes_despite_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        BatchRunner(workers=0, cache=cache).run(self._tasks())
+        forced = BatchRunner(workers=0, cache=cache, force=True).run(self._tasks())
+        assert forced.report.executed == 4
+
+    def test_corrupt_cache_entry_reexecutes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        outcome = BatchRunner(workers=0, cache=cache).run(self._tasks(1))
+        task = self._tasks(1)[0]
+        entry_path = cache._path(task.cache_key)
+        entry_path.write_text("{not json")
+        retry = BatchRunner(workers=0, cache=cache).run([task])
+        assert retry.report.executed == 1
+        assert retry.results == outcome.results
+
+
+class TestScenarioCaching:
+    def test_second_scenario_sweep_runs_zero_simulations(self, tmp_path):
+        """The acceptance property: a repeated sweep is a pure cache hit."""
+        specs = [
+            Scenario(name=f"s{i}", topology="line", n_nodes=4, duration_s=0.2, seed=i)
+            for i in range(2)
+        ]
+        tasks = [scenario_task(s) for s in specs]
+        cache = ResultCache(tmp_path / "cache")
+        first = BatchRunner(workers=0, cache=cache).run(tasks)
+        assert first.report.executed == 2
+        second = BatchRunner(workers=0, cache=ResultCache(tmp_path / "cache")).run(tasks)
+        assert second.report.executed == 0
+        assert second.results == first.results
+
+    def test_cache_key_tracks_scenario_config(self):
+        a = scenario_task(Scenario(topology="line", n_nodes=4, seed=0))
+        b = scenario_task(Scenario(topology="line", n_nodes=4, seed=1))
+        assert a.cache_key != b.cache_key
+        assert a.cache_key == scenario_task(Scenario(topology="line", n_nodes=4, seed=0)).cache_key

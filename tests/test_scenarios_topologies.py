@@ -1,0 +1,127 @@
+"""Topology generators: determinism, seed sensitivity, counts, and bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios import Placement, Scenario, TOPOLOGIES, generate_topology
+
+EXTENT = 120.0
+
+#: Enough nodes to give every topology at least one full group plus leftovers.
+NODE_COUNTS = {name: 9 for name in TOPOLOGIES}
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+class TestEveryGenerator:
+    def _make(self, name, seed):
+        return generate_topology(name, n_nodes=NODE_COUNTS[name], extent=EXTENT, seed=seed)
+
+    def test_same_seed_identical_placements(self, name):
+        a, b = self._make(name, 42), self._make(name, 42)
+        assert a.positions == b.positions
+        assert a.flows == b.flows
+
+    def test_distinct_seeds_distinct_placements(self, name):
+        a, b = self._make(name, 42), self._make(name, 43)
+        assert a.positions != b.positions
+
+    def test_node_count_respected(self, name):
+        for n in (NODE_COUNTS[name], NODE_COUNTS[name] + 1, NODE_COUNTS[name] + 5):
+            placement = generate_topology(name, n_nodes=n, extent=EXTENT, seed=0)
+            assert placement.n_nodes == n
+
+    def test_bounds_respected(self, name):
+        placement = self._make(name, 7)
+        assert placement.bounding_radius() <= 1.5 * EXTENT
+
+    def test_flows_reference_placed_nodes(self, name):
+        placement = self._make(name, 7)
+        assert placement.flows, "every topology must emit at least one flow"
+        for src, dst in placement.flows:
+            assert src in placement.positions
+            assert dst in placement.positions
+            assert src != dst
+
+    def test_each_node_sends_at_most_one_flow(self, name):
+        placement = self._make(name, 7)
+        senders = [src for src, _ in placement.flows]
+        assert len(senders) == len(set(senders))
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(KeyError, match="unknown topology"):
+        generate_topology("moebius_strip", n_nodes=4, extent=10.0, seed=0)
+
+
+def test_degenerate_arguments_rejected():
+    with pytest.raises(ValueError):
+        generate_topology("grid", n_nodes=1, extent=10.0, seed=0)
+    with pytest.raises(ValueError):
+        generate_topology("grid", n_nodes=4, extent=0.0, seed=0)
+
+
+def test_scale_free_grows_hub_degrees():
+    placement = generate_topology("scale_free", n_nodes=60, extent=200.0, seed=1)
+    indegree: dict = {}
+    for _, dst in placement.flows:
+        indegree[dst] = indegree.get(dst, 0) + 1
+    # Preferential attachment concentrates receivers: the busiest hub serves
+    # several uplinks while most nodes serve at most one.
+    assert max(indegree.values()) >= 4
+    assert np.median(list(indegree.values())) <= 2
+
+
+def test_hidden_terminal_geometry():
+    placement = generate_topology("hidden_terminal", n_nodes=3, extent=140.0, seed=0)
+    (a, r1), (b, r2) = placement.flows
+    assert r1 == r2  # shared receiver
+    ax, _ = placement.positions[a]
+    bx, _ = placement.positions[b]
+    rx, _ = placement.positions[r1]
+    assert min(ax, bx) < rx < max(ax, bx)
+    assert abs(bx - ax) > 0.9 * 140.0  # senders at opposite ends of the span
+
+
+def test_exposed_terminal_geometry():
+    placement = generate_topology("exposed_terminal", n_nodes=4, extent=120.0, seed=0)
+    (s1, r1), (s2, r2) = placement.flows
+    x = {node: placement.positions[node][0] for node in placement.positions}
+    # Receivers face away from the sender pair in the middle.
+    assert x[r1] < x[s1] < x[s2] < x[r2]
+    assert (x[s2] - x[s1]) > 2 * (x[s1] - x[r1])
+
+
+class TestScenarioSpec:
+    def test_config_round_trip(self):
+        scenario = Scenario(
+            name="rt", topology="grid", n_nodes=6, seed=9, sigma_db=4.0,
+            topology_params={"jitter_frac": 0.05},
+        )
+        assert Scenario.from_config(scenario.as_config()) == scenario
+
+    def test_same_seed_same_run(self):
+        spec = Scenario(topology="exposed_terminal", n_nodes=4, duration_s=0.2, seed=5)
+        assert spec.run() == spec.run()
+
+    def test_build_network_places_every_node(self):
+        spec = Scenario(topology="clustered", n_nodes=8, duration_s=0.2, seed=2)
+        net, placement = spec.build_network()
+        assert set(net.nodes) == set(placement.positions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(n_nodes=1)
+        with pytest.raises(ValueError):
+            Scenario(traffic="carrier_pigeon")
+        with pytest.raises(ValueError):
+            Scenario(mac="aloha")
+
+    def test_carrier_sense_off_beats_on_for_exposed_terminals(self):
+        """The subsystem reproduces the paper's core exposed-terminal effect."""
+        base = Scenario(topology="exposed_terminal", n_nodes=4, extent_m=120.0,
+                        duration_s=0.5, seed=3)
+        with_cs = base.run()["total_pps"]
+        without_cs = base.with_overrides(cca_threshold_dbm=None).run()["total_pps"]
+        assert without_cs > 1.2 * with_cs

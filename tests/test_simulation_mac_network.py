@@ -273,3 +273,41 @@ class TestNetworkHarness:
         second = net.run(0.5).packets_delivered("S", "R")
         assert first > 0 and second > 0
         assert abs(first - second) < 0.3 * first
+
+
+class TestOpenLoopTrafficWakeup:
+    """Poisson sources must wake a dormant CSMA MAC (``notify_traffic``)."""
+
+    def _bidirectional_poisson(self, rate_pps: float) -> WirelessNetwork:
+        # Plain add_node(traffic=...) must be enough: attach_traffic wires
+        # the wake-up hook, no manual on_arrival plumbing.
+        net = WirelessNetwork(channel=make_channel(), seed=1)
+        for node_id, position, dst, seed in (("A", (0, 0), "B", 11), ("B", (10, 0), "A", 12)):
+            traffic = PoissonTraffic(
+                sim=net.sim, rate_pps=rate_pps, destination=dst,
+                rng=np.random.default_rng(seed),
+            )
+            net.add_node(node_id, position, use_acks=True, traffic=traffic)
+        return net
+
+    def test_idle_mac_resumes_on_arrival(self):
+        net = WirelessNetwork(channel=make_channel(), seed=2)
+        traffic = PoissonTraffic(
+            sim=net.sim, rate_pps=50.0, destination="R", rng=np.random.default_rng(3)
+        )
+        net.add_node("S", (0, 0), traffic=traffic)
+        net.add_node("R", (8, 0))
+        result = net.run(2.0)
+        assert result.packets_delivered("S", "R") > 0.8 * traffic.packets_offered
+
+    def test_no_stall_when_arrival_lands_during_ack_response(self):
+        """Regression: an arrival during the 'responding' state must not be
+        lost -- the ACK-complete branch re-polls the traffic source.  Before
+        the fix one direction of this bidirectional ACKed setup stalled
+        permanently within a second (8 pkt/s delivered of 100 offered)."""
+        net = self._bidirectional_poisson(rate_pps=100.0)
+        result = net.run(5.0)
+        for src, dst in (("A", "B"), ("B", "A")):
+            delivered = result.packets_delivered(src, dst)
+            offered = net.nodes[src].traffic.packets_offered
+            assert delivered > 0.9 * offered, f"{src}->{dst} stalled"
