@@ -1,0 +1,74 @@
+"""Benchmark L-1: a 500-node scale-free scenario on the pruned medium.
+
+The scenario is a campus of preferential-attachment clusters (the
+``scale_free`` generator with ``n_hubs``) spread far enough apart that most
+node pairs fall below the medium's detectability floor.  Two properties are
+pinned:
+
+* **equivalence** -- the pruned medium delivers exactly the same per-flow
+  packet counts as the unpruned reference medium (``cca_noise_db=0`` makes
+  the comparison deterministic);
+* **speed** -- the pruned run is at least 3x faster than the unpruned one
+  (in practice well above that; the bound is deliberately loose).
+
+The timing assertion is skipped on shared CI runners (``CI`` set), where
+wall-clock ratios are not trustworthy; equivalence is still asserted there.
+Setting ``REPRO_BENCH_SMOKE=1`` additionally shrinks the scenario: the CI
+smoke step uses it to import-check and exercise the hot path in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.scenarios import Scenario, unpruned_variant
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def large_scale_free_scenario() -> Scenario:
+    """The 500-node campus (120-node in smoke mode)."""
+    return Scenario(
+        name="bench-large-scale-free",
+        topology="scale_free",
+        n_nodes=120 if SMOKE else 500,
+        extent_m=8000.0,
+        seed=11,
+        sigma_db=0.0,
+        cca_noise_db=0.0,
+        duration_s=0.02 if SMOKE else 0.01,
+        topology_params={"attach_range_frac": 0.008, "n_hubs": 12 if SMOKE else 30},
+    )
+
+
+def test_pruned_medium_matches_unpruned_and_is_faster():
+    scenario = large_scale_free_scenario()
+    start = time.perf_counter()
+    pruned = scenario.run()
+    pruned_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    unpruned = unpruned_variant(scenario).run()
+    unpruned_s = time.perf_counter() - start
+
+    # Equal delivered-packet counts, flow for flow.
+    assert pruned["per_flow_pps"] == unpruned["per_flow_pps"]
+    assert pruned["total_pps"] == unpruned["total_pps"]
+    assert pruned["total_pps"] > 0
+
+    if not SMOKE and not os.environ.get("CI"):
+        assert unpruned_s / pruned_s >= 3.0, (
+            f"pruned medium only {unpruned_s / pruned_s:.1f}x faster "
+            f"({pruned_s:.2f}s vs {unpruned_s:.2f}s)"
+        )
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=1.0, warmup=False)
+def test_large_scenario_pruned_runtime(benchmark):
+    scenario = large_scale_free_scenario()
+    result = benchmark.pedantic(scenario.run, rounds=1, iterations=1)
+    assert result["n_flows"] == scenario.n_nodes - scenario.topology_params["n_hubs"]
+    assert result["total_pps"] > 0

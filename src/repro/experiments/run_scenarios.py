@@ -21,13 +21,18 @@ from typing import List, Optional
 
 from ..runner import BatchRunner, ResultCache, config_hash, expand_grid
 from ..scenarios import TOPOLOGIES, Scenario, aggregate_metrics, scenario_task
+from ..simulation.medium import DEFAULT_DETECTABILITY_MARGIN_DB
 from .base import ExperimentResult, default_cache_dir
 
 __all__ = ["main", "build_scenarios"]
 
 
-def _parse_cca(value: str) -> Optional[float]:
-    """``--cca off`` disables carrier sense (the concurrency configuration)."""
+def _parse_optional_float(value: str) -> Optional[float]:
+    """Shared parser for float flags that accept an "off" keyword.
+
+    ``--cca off`` disables carrier sense (the concurrency configuration);
+    ``--prune-margin off`` runs the unpruned reference medium.
+    """
     if value.lower() in ("off", "none", "disabled"):
         return None
     return float(value)
@@ -51,9 +56,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="spatial extent(s) in metres (repeatable; default: 120)")
     parser.add_argument("--sigma", action="append", type=float, default=None,
                         help="shadowing sigma(s) in dB (repeatable; default: 0)")
-    parser.add_argument("--cca", action="append", type=_parse_cca, default=None,
+    parser.add_argument("--cca", action="append", type=_parse_optional_float, default=None,
                         help="CCA threshold(s) in dBm, or 'off' (repeatable; default: -82)")
     parser.add_argument("--rate", type=float, default=6.0, help="bitrate in Mbps (default: 6)")
+    parser.add_argument(
+        "--prune-margin", type=_parse_optional_float, default=DEFAULT_DETECTABILITY_MARGIN_DB,
+        help="medium pruning margin below the noise floor in dB, or 'off' for the "
+             f"unpruned reference medium (default: {DEFAULT_DETECTABILITY_MARGIN_DB:g})",
+    )
+    parser.add_argument(
+        "--cca-noise", type=float, default=2.0,
+        help="per-frame carrier-sense measurement noise in dB (default: 2)",
+    )
     parser.add_argument("--mac", choices=("csma", "tdma"), default="csma")
     parser.add_argument("--traffic", choices=("saturated", "poisson"), default="saturated")
     parser.add_argument("--load", type=float, default=200.0,
@@ -100,6 +114,8 @@ def build_scenarios(args: argparse.Namespace) -> List[Scenario]:
         "offered_load_pps": args.load,
         "rate_mbps": args.rate,
         "duration_s": args.duration,
+        "detectability_margin_db": args.prune_margin,
+        "cca_noise_db": args.cca_noise,
     }
     scenarios: List[Scenario] = []
     for config in expand_grid(base, grid):

@@ -15,7 +15,7 @@ probing phase and the measurement phase).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Tuple, Union
+from typing import Dict, Hashable, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -119,8 +119,12 @@ class ChannelModel:
 
     # -- shadowing bookkeeping -------------------------------------------------
 
+    @staticmethod
+    def _order_pair(a: Hashable, b: Hashable, repr_a: str, repr_b: str) -> PairKey:
+        return (a, b) if repr_a <= repr_b else (b, a)
+
     def _pair_key(self, a: Hashable, b: Hashable) -> PairKey:
-        return (a, b) if repr(a) <= repr(b) else (b, a)
+        return self._order_pair(a, b, repr(a), repr(b))
 
     def shadowing_db(self, a: Hashable, b: Hashable) -> float:
         """Static shadowing value (dB) for the unordered pair ``(a, b)``."""
@@ -135,6 +139,69 @@ class ChannelModel:
     def set_shadowing_db(self, a: Hashable, b: Hashable, value_db: float) -> None:
         """Pin the shadowing value for a pair (used by tests and scenarios)."""
         self._pair_shadowing_db[self._pair_key(a, b)] = float(value_db)
+
+    def shadowing_matrix(self, ids: Sequence[Hashable]) -> np.ndarray:
+        """Symmetric per-pair shadowing matrix (dB) for the given node order.
+
+        Values already cached (drawn lazily or pinned via
+        :meth:`set_shadowing_db`) are reused verbatim; missing pairs are drawn
+        in one batched call, in deterministic ``(i, j), i < j`` order, and
+        cached so later per-pair queries agree with the matrix.
+        """
+        n = len(ids)
+        matrix = np.zeros((n, n), dtype=float)
+        if self.sigma_db == 0.0 and not self._pair_shadowing_db:
+            return matrix
+        if not self._pair_shadowing_db:
+            # Cold start (the common scenario-run case): one batched draw for
+            # all pairs, consumed in the same ``(i, j), i < j`` row-major
+            # order as the incremental path below, assigned vectorized.
+            iu, ju = np.triu_indices(n, k=1)
+            draws = self.rng.normal(0.0, self.sigma_db, size=iu.size)
+            matrix[iu, ju] = draws
+            matrix[ju, iu] = draws
+            reprs = [repr(node) for node in ids]
+            for i, j, draw in zip(iu.tolist(), ju.tolist(), draws.tolist()):
+                key = self._order_pair(ids[i], ids[j], reprs[i], reprs[j])
+                self._pair_shadowing_db[key] = draw
+            return matrix
+        missing = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                key = self._pair_key(ids[i], ids[j])
+                value = self._pair_shadowing_db.get(key)
+                if value is None:
+                    missing.append((i, j, key))
+                else:
+                    matrix[i, j] = matrix[j, i] = value
+        if missing:
+            if self.sigma_db > 0.0:
+                draws = self.rng.normal(0.0, self.sigma_db, size=len(missing))
+            else:
+                draws = np.zeros(len(missing))
+            for (i, j, key), draw in zip(missing, draws):
+                value = float(draw)
+                self._pair_shadowing_db[key] = value
+                matrix[i, j] = matrix[j, i] = value
+        return matrix
+
+    def rx_power_matrix(
+        self, ids: Sequence[Hashable], distance_m: np.ndarray
+    ) -> np.ndarray:
+        """Received power (dBm) for every ordered pair, in one vectorized pass.
+
+        ``distance_m[i, j]`` is the (already clamped) distance from node
+        ``ids[i]`` to node ``ids[j]``; the diagonal is ignored by callers but
+        must still be strictly positive for the path-loss model.  The result
+        composes path loss and per-pair shadowing exactly like
+        :meth:`link_budget` (without fading), so matrix entries are
+        bit-identical to per-pair ``rx_power_dbm`` queries.
+        """
+        distances = np.asarray(distance_m, dtype=float)
+        if distances.shape != (len(ids), len(ids)):
+            raise ValueError("distance matrix shape must match the node list")
+        loss = np.asarray(self.path_loss.loss_db(distances), dtype=float)
+        return self.tx_power_dbm - loss + self.shadowing_matrix(ids)
 
     # -- link budget -----------------------------------------------------------
 

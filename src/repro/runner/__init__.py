@@ -19,11 +19,12 @@ Typical use::
     outcome.report.executed  # 0 on a warm cache
 """
 
-from .batch import BatchOutcome, BatchReport, BatchRunner, BatchTask
+from .batch import BatchExecutionError, BatchOutcome, BatchReport, BatchRunner, BatchTask
 from .cache import ResultCache, config_hash
 from .sweep import expand_grid, per_task_seed
 
 __all__ = [
+    "BatchExecutionError",
     "BatchOutcome",
     "BatchReport",
     "BatchRunner",

@@ -11,12 +11,20 @@ from __future__ import annotations
 import importlib
 import multiprocessing
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .cache import ResultCache, config_hash
 
-__all__ = ["BatchTask", "BatchReport", "BatchOutcome", "BatchRunner", "resolve_callable"]
+__all__ = [
+    "BatchTask",
+    "BatchReport",
+    "BatchOutcome",
+    "BatchRunner",
+    "BatchExecutionError",
+    "resolve_callable",
+]
 
 
 def resolve_callable(dotted_path: str) -> Callable[..., Any]:
@@ -46,11 +54,20 @@ class BatchTask:
         return config_hash({"fn": self.fn, "config": self.config})
 
 
-def _execute(payload: Tuple[int, str, Dict[str, Any]]) -> Tuple[int, Any]:
-    """Worker entry point: run one task, tagged with its position."""
+def _execute(payload: Tuple[int, str, Dict[str, Any]]) -> Tuple[int, Any, Optional[str]]:
+    """Worker entry point: run one task, tagged with its position.
+
+    Exceptions are caught and returned as a string (picklable under every
+    start method) rather than propagated: a single raising task must not
+    abort ``imap_unordered`` and discard every completed-but-not-yet-stored
+    result.  The runner records failures and re-raises at the end.
+    """
     index, fn_path, config = payload
-    fn = resolve_callable(fn_path)
-    return index, fn(**config)
+    try:
+        fn = resolve_callable(fn_path)
+        return index, fn(**config), None
+    except Exception as exc:  # noqa: BLE001 -- deliberately broad per-task isolation
+        return index, None, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
 
 
 @dataclass
@@ -62,11 +79,14 @@ class BatchReport:
     cache_hits: int = 0
     workers: int = 1
     elapsed_s: float = 0.0
+    #: Task index -> error message for tasks that raised.
+    failures: Dict[int, str] = field(default_factory=dict)
 
     def summary(self) -> str:
+        failed = f", {len(self.failures)} failed" if self.failures else ""
         return (
             f"{self.total} tasks: {self.executed} executed, "
-            f"{self.cache_hits} cache hits ({self.workers} worker(s), "
+            f"{self.cache_hits} cache hits{failed} ({self.workers} worker(s), "
             f"{self.elapsed_s:.2f}s)"
         )
 
@@ -77,6 +97,27 @@ class BatchOutcome:
 
     results: List[Any]
     report: BatchReport
+
+
+class BatchExecutionError(RuntimeError):
+    """Raised after the whole batch ran when one or more tasks failed.
+
+    By the time this surfaces every completed task's result has been stored
+    in the cache, so a re-run only re-executes the failing tasks.  The
+    partial results are available on :attr:`outcome` (failed slots are
+    ``None``) and the per-task error messages -- each a ``Type: msg`` summary
+    line followed by the worker-side traceback -- on :attr:`failures`.
+    """
+
+    def __init__(self, failures: Dict[int, str], outcome: BatchOutcome) -> None:
+        self.failures = dict(failures)
+        self.outcome = outcome
+        detail = "; ".join(
+            f"task {i}: {msg.splitlines()[0]}" for i, msg in sorted(failures.items())
+        )
+        super().__init__(
+            f"{len(failures)} of {outcome.report.total} batch task(s) failed ({detail})"
+        )
 
 
 class BatchRunner:
@@ -123,19 +164,34 @@ class BatchRunner:
 
         if self.workers > 1 and len(pending) > 1:
             with multiprocessing.Pool(processes=self.workers) as pool:
-                for index, result in pool.imap_unordered(_execute, pending):
-                    results[index] = result
-                    report.executed += 1
-                    self._store(tasks[index], result)
+                for index, result, error in pool.imap_unordered(_execute, pending):
+                    self._record(tasks, results, report, index, result, error)
         else:
             for payload in pending:
-                index, result = _execute(payload)
-                results[index] = result
-                report.executed += 1
-                self._store(tasks[index], result)
+                index, result, error = _execute(payload)
+                self._record(tasks, results, report, index, result, error)
 
         report.elapsed_s = time.perf_counter() - start
-        return BatchOutcome(results=results, report=report)
+        outcome = BatchOutcome(results=results, report=report)
+        if report.failures:
+            raise BatchExecutionError(report.failures, outcome)
+        return outcome
+
+    def _record(
+        self,
+        tasks: Sequence[BatchTask],
+        results: List[Any],
+        report: BatchReport,
+        index: int,
+        result: Any,
+        error: Optional[str],
+    ) -> None:
+        if error is not None:
+            report.failures[index] = error
+            return
+        results[index] = result
+        report.executed += 1
+        self._store(tasks[index], result)
 
     def _store(self, task: BatchTask, result: Any) -> None:
         if self.cache is not None:

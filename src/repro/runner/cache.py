@@ -65,7 +65,17 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            # A corrupt entry would otherwise stay on disk forever: ``get``
+            # keeps missing while ``__contains__`` keeps claiming the key
+            # exists.  Unlink it so the next ``put`` rewrites a clean entry.
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
             self.misses += 1
             return None
         self.hits += 1

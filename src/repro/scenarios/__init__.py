@@ -10,7 +10,13 @@ in parallel with cached results (``python -m repro.experiments
 run-scenarios``).
 """
 
-from .execute import RUN_SCENARIO_PATH, aggregate_metrics, run_scenario, scenario_task
+from .execute import (
+    RUN_SCENARIO_PATH,
+    aggregate_metrics,
+    run_scenario,
+    scenario_task,
+    unpruned_variant,
+)
 from .spec import Scenario
 from .topologies import TOPOLOGIES, Placement, generate_topology, register_topology
 
@@ -24,4 +30,5 @@ __all__ = [
     "register_topology",
     "run_scenario",
     "scenario_task",
+    "unpruned_variant",
 ]

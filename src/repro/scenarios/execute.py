@@ -15,7 +15,7 @@ import numpy as np
 from ..runner.batch import BatchTask
 from .spec import Scenario
 
-__all__ = ["run_scenario", "scenario_task", "aggregate_metrics"]
+__all__ = ["run_scenario", "scenario_task", "aggregate_metrics", "unpruned_variant"]
 
 RUN_SCENARIO_PATH = "repro.scenarios.execute.run_scenario"
 
@@ -23,6 +23,16 @@ RUN_SCENARIO_PATH = "repro.scenarios.execute.run_scenario"
 def run_scenario(**config: Any) -> Dict[str, Any]:
     """Build and run one scenario from its plain-dict config."""
     return Scenario.from_config(config).run()
+
+
+def unpruned_variant(scenario: Scenario) -> Scenario:
+    """The same scenario on the reference (unpruned) medium.
+
+    Used by the equivalence tests and the large-scenario benchmark: with
+    ``cca_noise_db=0`` the pruned and unpruned runs must deliver identical
+    results, differing only in wall-clock time.
+    """
+    return scenario.with_overrides(detectability_margin_db=None)
 
 
 def scenario_task(scenario: Scenario) -> BatchTask:

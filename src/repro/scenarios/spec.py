@@ -20,6 +20,7 @@ from ..constants import DEFAULT_TX_POWER_DBM, EXPERIMENT_PAYLOAD_BYTES, FREQ_5_G
 from ..propagation.channel import ChannelModel
 from ..propagation.pathloss import LogDistancePathLoss
 from ..simulation.mac.tdma import TdmaSchedule
+from ..simulation.medium import DEFAULT_DETECTABILITY_MARGIN_DB
 from ..simulation.network import WirelessNetwork
 from ..simulation.traffic import PoissonTraffic, SaturatedTraffic
 from .topologies import Placement, generate_topology
@@ -64,10 +65,13 @@ class Scenario:
     # MAC
     mac: str = "csma"
     cca_threshold_dbm: Optional[float] = -82.0
+    cca_noise_db: float = 2.0
     rate_mbps: float = 6.0
     use_acks: bool = False
     use_rts_cts: bool = False
     tdma_slot_s: float = 0.02
+    # medium (``None`` disables neighbourhood pruning -- the reference path)
+    detectability_margin_db: Optional[float] = DEFAULT_DETECTABILITY_MARGIN_DB
     # measurement
     duration_s: float = 1.0
 
@@ -75,9 +79,15 @@ class Scenario:
         if self.n_nodes < 2:
             raise ValueError("a scenario needs at least two nodes")
         for name in ("extent_m", "sigma_db", "duration_s", "alpha", "rate_mbps",
-                     "offered_load_pps", "tx_power_dbm"):
+                     "offered_load_pps", "tx_power_dbm", "cca_noise_db"):
             if not math.isfinite(getattr(self, name)):
                 raise ValueError(f"{name} must be finite")
+        if self.cca_noise_db < 0:
+            raise ValueError("cca_noise_db must be non-negative")
+        if self.detectability_margin_db is not None and (
+            not math.isfinite(self.detectability_margin_db) or self.detectability_margin_db < 0
+        ):
+            raise ValueError("detectability_margin_db must be non-negative or None")
         if self.extent_m <= 0:
             raise ValueError("extent_m must be positive")
         if self.sigma_db < 0:
@@ -122,6 +132,8 @@ class Scenario:
             channel=self.channel(),
             seed=self.seed,
             cca_threshold_dbm=self.cca_threshold_dbm,
+            detectability_margin_db=self.detectability_margin_db,
+            cca_noise_db=self.cca_noise_db,
         )
         senders = {src: dst for src, dst in placement.flows}
         schedule = None

@@ -196,6 +196,7 @@ def scale_free(
     extent: float,
     rng: np.random.Generator,
     attach_range_frac: float = 0.15,
+    n_hubs: int = 1,
 ) -> Placement:
     """Preferential attachment: heavy-tailed hub degrees in space.
 
@@ -205,11 +206,34 @@ def scale_free(
     node density -- the regime where carrier sense behaves very differently
     from a uniform disc ("Communication Bottlenecks in Scale-Free Networks").
     Every attachment edge becomes an uplink flow towards the hub.
+
+    ``n_hubs > 1`` seeds that many spatially scattered hub nodes (a campus of
+    buildings rather than one): attachment is still degree-proportional over
+    the whole graph, but each new node is placed a short hop from its chosen
+    parent, so the layout grows separated heavy-tailed clusters whose
+    diameters stay small relative to their spacing -- the regime where the
+    medium's neighbourhood pruning pays off at scale.
     """
-    positions: Dict[str, Position] = {_node_id(0): (extent / 2.0, extent / 2.0)}
-    degrees = [1.0]
+    if n_hubs < 1:
+        raise ValueError("need at least one hub")
+    if n_hubs >= n_nodes:
+        # Clamping silently would leave zero attachment edges -> zero flows,
+        # and a cached all-zero "result" is worse than an error.
+        raise ValueError(f"n_hubs ({n_hubs}) must be less than n_nodes ({n_nodes})")
+    positions: Dict[str, Position] = {}
+    degrees: List[float] = []
+    if n_hubs == 1:
+        # Single-building layout; kept draw-for-draw identical to the
+        # original generator so existing seeds reproduce bit-for-bit.
+        positions[_node_id(0)] = (extent / 2.0, extent / 2.0)
+        degrees.append(1.0)
+    else:
+        centres = rng.uniform(0.1 * extent, 0.9 * extent, size=(n_hubs, 2))
+        for hub in range(n_hubs):
+            positions[_node_id(hub)] = _clip_box(centres[hub, 0], centres[hub, 1], extent)
+            degrees.append(1.0)
     flows: List[Tuple[str, str]] = []
-    for index in range(1, n_nodes):
+    for index in range(len(degrees), n_nodes):
         weights = np.asarray(degrees) / float(np.sum(degrees))
         target = int(rng.choice(len(degrees), p=weights))
         tx, ty = positions[_node_id(target)]

@@ -1,18 +1,49 @@
 """The shared wireless medium.
 
 The medium knows every node's position and the channel model, and it is the
-single place where transmissions are turned into received powers at every
-other radio.  Starting a transmission registers it with all radios (each sees
-its own received power); the end of the transmission is scheduled on the
-event engine, at which point each radio finalises reception or interference
-bookkeeping.
+single place where transmissions are turned into received powers at other
+radios.  Starting a transmission registers it with the radios that can
+physically notice it (each sees its own received power); the end of the
+transmission is scheduled on the event engine, at which point each notified
+radio finalises reception or interference bookkeeping.
+
+Scaling model
+-------------
+Fanning every frame out to all N radios makes per-transmission cost O(N)
+*Python calls*, which caps simulations at a few hundred nodes.  Instead the
+medium is *finalised* once the topology is complete: the full N x N
+received-power matrix is computed in one vectorized pass through the
+:class:`~repro.propagation.channel.ChannelModel`, and each sender gets a
+pruned notification list containing only the radios whose received power
+exceeds a detectability floor (the noise floor minus
+``detectability_margin_db``; with the default margin of 16 dB and the
+default noise floor this lands at about -110 dBm).
+
+Power below that floor can never be locked onto (it is far under preamble
+sensitivity) -- it only ever matters as summed background energy.  So
+instead of notifying sub-floor receivers one Python call at a time, the
+medium folds each transmission's sub-floor contributions into a single
+vectorized *active sub-floor power* array (one SIMD row add on start, one
+subtract on end) that every radio reads as part of its noise term, and
+samples worst-case interference for locked radios the same way.  CCA and
+SINR therefore see exactly the same total power as the unpruned path (up to
+float associativity), while per-transmission Python work is proportional to
+the sender's radio neighbourhood.  Pass ``detectability_margin_db=None`` to
+disable pruning and notify every radio (the reference behaviour used by the
+equivalence tests).
+
+Two deliberately un-tracked details under pruning: per-frame CCA measurement
+noise is not applied to sub-floor contributions (noise on a negligible term),
+and a radio's ``frames_missed_while_busy`` / ``incoming_count`` only reflect
+above-floor frames.  Neither affects delivered traffic; with
+``cca_noise_db=0`` pruned and unpruned runs produce identical results.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,11 +51,22 @@ from ..propagation.channel import ChannelModel
 from .engine import Simulator
 from .frames import Frame
 
-__all__ = ["Transmission", "Medium"]
+__all__ = ["Transmission", "Medium", "DEFAULT_DETECTABILITY_MARGIN_DB"]
 
 _transmission_ids = itertools.count()
 
 Position = Tuple[float, float]
+
+#: Default pruning margin below the noise floor (dB).  With the default
+#: noise floor (~-94 dBm) the detectability floor sits at about -110 dBm,
+#: comfortably below both typical preamble sensitivity (-90 dBm) and any
+#: sane CCA threshold, so pruned frames could never have been decoded or
+#: individually sensed.
+DEFAULT_DETECTABILITY_MARGIN_DB: float = 16.0
+
+#: Transmission finishes between exact resyncs of the active sub-floor
+#: power vector (bounds incremental float drift).
+SUBFLOOR_RESYNC_INTERVAL: int = 4096
 
 
 @dataclass
@@ -54,16 +96,55 @@ class Medium:
     min_distance_m:
         Pairs closer than this are clamped to it, avoiding unphysical powers
         when two nodes are placed (nearly) on top of each other.
+    detectability_margin_db:
+        How far below the noise floor a link may fall before the receiver is
+        pruned from the sender's per-frame notification list (its power is
+        then tracked in the vectorized sub-floor noise array instead).
+        ``None`` disables pruning.
     """
 
-    def __init__(self, sim: Simulator, channel: ChannelModel, min_distance_m: float = 0.5) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: ChannelModel,
+        min_distance_m: float = 0.5,
+        detectability_margin_db: Optional[float] = DEFAULT_DETECTABILITY_MARGIN_DB,
+    ) -> None:
+        if detectability_margin_db is not None and detectability_margin_db < 0:
+            raise ValueError("detectability margin must be non-negative")
         self.sim = sim
         self.channel = channel
         self.min_distance_m = min_distance_m
+        self.detectability_margin_db = detectability_margin_db
         self._positions: Dict[Hashable, Position] = {}
         self._radios: Dict[Hashable, "Radio"] = {}
         self._rx_power_cache: Dict[Tuple[Hashable, Hashable], float] = {}
         self.active_transmissions: Dict[int, Transmission] = {}
+
+        # Populated by finalize().
+        self._finalized = False
+        self._index: Dict[Hashable, int] = {}
+        self._rx_dbm_matrix: Optional[np.ndarray] = None
+        self._rx_mw_matrix: Optional[np.ndarray] = None
+        self._notify: List[List[Tuple["Radio", float]]] = []
+        # Per-sender sub-floor contributions (zero where above floor / self),
+        # None for senders every receiver can hear.
+        self._subfloor_rows: List[Optional[np.ndarray]] = []
+        self._subfloor_masks: List[Optional[np.ndarray]] = []
+        # Live vectorized state, one slot per radio.
+        self._subfloor_active_mw: np.ndarray = np.zeros(0)
+        self._above_sum_mw: np.ndarray = np.zeros(0)
+        self._locked_mask: np.ndarray = np.zeros(0, dtype=bool)
+        self._locked_power_mw: np.ndarray = np.zeros(0)
+        self._locked_max_interference_mw: np.ndarray = np.zeros(0)
+        # Mirrors for the busy-edge check: per-slot CCA power sums, linear
+        # CCA thresholds (inf where carrier sense is disabled; captured at
+        # finalisation), and each radio's last busy/idle verdict.
+        self._cca_live_mw: np.ndarray = np.zeros(0)
+        self._cca_threshold_mw: np.ndarray = np.zeros(0)
+        self._busy_mirror: np.ndarray = np.zeros(0, dtype=bool)
+        self._slot_radios: List["Radio"] = []
+        self._finishes_since_resync = 0
 
     # -- topology ---------------------------------------------------------------
 
@@ -71,8 +152,20 @@ class Medium:
         """Add a node's radio to the medium at the given position."""
         if node_id in self._radios:
             raise ValueError(f"node {node_id!r} is already registered")
+        if self.active_transmissions:
+            raise RuntimeError("cannot register a radio while frames are in flight")
         self._positions[node_id] = (float(position[0]), float(position[1]))
         self._radios[node_id] = radio
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._finalized = False
+        self._index = {}
+        self._rx_dbm_matrix = None
+        self._rx_mw_matrix = None
+        self._notify = []
+        self._subfloor_rows = []
+        self._subfloor_masks = []
 
     @property
     def node_ids(self) -> list:
@@ -90,8 +183,143 @@ class Medium:
         bx, by = self._positions[b]
         return max(float(np.hypot(ax - bx, ay - by)), self.min_distance_m)
 
+    # -- finalisation ----------------------------------------------------------
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    @property
+    def detectability_floor_dbm(self) -> Optional[float]:
+        """Received power below which a link is pruned (``None``: no pruning)."""
+        if self.detectability_margin_db is None:
+            return None
+        return self.channel.noise_floor_dbm - self.detectability_margin_db
+
+    def finalize(self) -> None:
+        """Freeze the topology: batch-compute rx powers and notification lists.
+
+        Called automatically by the first :meth:`start_transmission`; safe to
+        call again (a no-op once finalised, re-run after new registrations).
+        """
+        if self._finalized:
+            return
+        ids = list(self._radios)
+        self._index = {node_id: i for i, node_id in enumerate(ids)}
+        n = len(ids)
+        radios = [self._radios[node_id] for node_id in ids]
+
+        self._subfloor_active_mw = np.zeros(n)
+        self._above_sum_mw = np.zeros(n)
+        self._locked_mask = np.zeros(n, dtype=bool)
+        self._locked_power_mw = np.zeros(n)
+        self._locked_max_interference_mw = np.zeros(n)
+        self._cca_live_mw = np.zeros(n)
+        self._cca_threshold_mw = np.full(n, np.inf)
+        self._busy_mirror = np.zeros(n, dtype=bool)
+        self._slot_radios = radios
+        self._finishes_since_resync = 0
+
+        if n == 0:
+            self._rx_dbm_matrix = np.zeros((0, 0))
+            self._rx_mw_matrix = np.zeros((0, 0))
+            self._notify = []
+            self._subfloor_rows = []
+            self._subfloor_masks = []
+            self._finalized = True
+            return
+
+        coords = np.asarray([self._positions[node_id] for node_id in ids], dtype=float)
+        dx = coords[:, 0][:, None] - coords[:, 0][None, :]
+        dy = coords[:, 1][:, None] - coords[:, 1][None, :]
+        distances = np.hypot(dx, dy)
+        np.maximum(distances, self.min_distance_m, out=distances)
+
+        rx_dbm = self.channel.rx_power_matrix(ids, distances)
+        np.fill_diagonal(rx_dbm, -np.inf)
+        rx_mw = np.power(10.0, rx_dbm / 10.0)  # diagonal decays to exactly 0
+
+        floor = self.detectability_floor_dbm
+        notify: List[List[Tuple["Radio", float]]] = []
+        subfloor_rows: List[Optional[np.ndarray]] = []
+        subfloor_masks: List[Optional[np.ndarray]] = []
+        for i in range(n):
+            if floor is None:
+                audible = [j for j in range(n) if j != i]
+                subfloor_rows.append(None)
+                subfloor_masks.append(None)
+            else:
+                below = rx_dbm[i] < floor
+                below[i] = False  # a sender never interferes with itself
+                audible = np.nonzero(~below)[0].tolist()
+                audible.remove(i)
+                if below.any():
+                    subfloor_rows.append(np.where(below, rx_mw[i], 0.0))
+                    subfloor_masks.append(below)
+                else:
+                    subfloor_rows.append(None)
+                    subfloor_masks.append(None)
+            notify.append([(radios[j], float(rx_mw[i, j])) for j in audible])
+
+        for slot, radio in enumerate(radios):
+            radio._attach_slot(slot)
+
+        self._rx_dbm_matrix = rx_dbm
+        self._rx_mw_matrix = rx_mw
+        self._notify = notify
+        self._subfloor_rows = subfloor_rows
+        self._subfloor_masks = subfloor_masks
+        self._finalized = True
+
+    def neighborhood(self, src: Hashable) -> List[Hashable]:
+        """Node ids notified per-frame when ``src`` transmits (after finalisation)."""
+        self.finalize()
+        return [radio.node_id for radio, _ in self._notify[self._index[src]]]
+
+    # -- vectorized per-slot state (used by Radio) -------------------------------
+
+    def subfloor_noise_mw(self, slot: int) -> float:
+        """Currently-active sub-floor power arriving at the given radio slot."""
+        return float(self._subfloor_active_mw[slot])
+
+    def _resync_subfloor(self) -> None:
+        """Recompute the active sub-floor vector exactly (bounds float drift)."""
+        self._finishes_since_resync = 0
+        if not len(self._subfloor_active_mw):
+            return
+        if not self.active_transmissions:
+            self._subfloor_active_mw[:] = 0.0
+            return
+        total = np.zeros_like(self._subfloor_active_mw)
+        for tx in self.active_transmissions.values():
+            row = self._subfloor_rows[self._index[tx.src]]
+            if row is not None:
+                total += row
+        self._subfloor_active_mw = total
+
+    def _sync_subfloor_busy_edges(self, mask: np.ndarray) -> None:
+        """Fire busy/idle callbacks on radios whose CCA verdict was flipped by
+        a sub-floor power change.
+
+        Per-frame notifications only reach above-floor receivers, so a MAC
+        waiting on ``on_channel_idle`` would otherwise stall if aggregate
+        sub-floor power alone ever crossed its CCA threshold (possible with a
+        small ``detectability_margin_db`` and many concurrent far senders).
+        One vectorized compare finds candidate flips; only those radios pay a
+        Python call, which re-derives the exact verdict.
+        """
+        live = self._cca_live_mw + self._subfloor_active_mw
+        busy = (live > 0.0) & (live + self.noise_floor_mw > self._cca_threshold_mw)
+        changed = np.nonzero(mask & (busy != self._busy_mirror))[0]
+        for slot in changed:
+            self._slot_radios[slot]._update_busy_state()
+
+    # -- static link queries ---------------------------------------------------
+
     def rx_power_dbm(self, src: Hashable, dst: Hashable) -> float:
         """Static received power (dBm) from ``src`` at ``dst`` (cached)."""
+        if self._finalized:
+            return float(self._rx_dbm_matrix[self._index[src], self._index[dst]])
         key = (src, dst)
         if key not in self._rx_power_cache:
             budget = self.channel.link_budget(src, dst, self.distance(src, dst))
@@ -100,6 +328,8 @@ class Medium:
 
     def rx_power_mw(self, src: Hashable, dst: Hashable) -> float:
         """Static received power (milliwatts) from ``src`` at ``dst``."""
+        if self._finalized:
+            return float(self._rx_mw_matrix[self._index[src], self._index[dst]])
         return float(10.0 ** (self.rx_power_dbm(src, dst) / 10.0))
 
     def snr_db(self, src: Hashable, dst: Hashable) -> float:
@@ -116,29 +346,61 @@ class Medium:
         """Put a frame on the air from ``src``; returns the transmission record."""
         if src not in self._radios:
             raise KeyError(f"unknown source node {src!r}")
+        self.finalize()
         duration = frame.airtime_s
         tx = Transmission(
             frame=frame, src=src, start_time=self.sim.now, end_time=self.sim.now + duration
         )
         self.active_transmissions[tx.tx_id] = tx
-        for node_id, radio in self._radios.items():
-            if node_id == src:
-                continue
-            power_mw = self.rx_power_mw(src, node_id)
+        src_slot = self._index[src]
+
+        subfloor = self._subfloor_rows[src_slot]
+        if subfloor is not None:
+            self._subfloor_active_mw += subfloor
+            # The unpruned path samples worst-case interference at *every*
+            # frame start seen by a locked radio; replicate that for radios
+            # that only hear this frame as sub-floor energy, in one masked op.
+            mask = self._locked_mask & self._subfloor_masks[src_slot]
+            if mask.any():
+                interference = (
+                    self._above_sum_mw[mask]
+                    + self._subfloor_active_mw[mask]
+                    - self._locked_power_mw[mask]
+                )
+                np.maximum(
+                    self._locked_max_interference_mw[mask],
+                    interference,
+                    out=interference,
+                )
+                self._locked_max_interference_mw[mask] = interference
+
+        for radio, power_mw in self._notify[src_slot]:
             radio.incoming_started(tx, power_mw)
+        if subfloor is not None:
+            self._sync_subfloor_busy_edges(self._subfloor_masks[src_slot])
         self.sim.schedule(duration, lambda: self._finish_transmission(tx))
         return tx
 
     def _finish_transmission(self, tx: Transmission) -> None:
         del self.active_transmissions[tx.tx_id]
-        for node_id, radio in self._radios.items():
-            if node_id == tx.src:
-                continue
+        src_slot = self._index[tx.src]
+        subfloor = self._subfloor_rows[src_slot]
+        if subfloor is not None:
+            self._subfloor_active_mw -= subfloor
+            self._finishes_since_resync += 1
+            if (
+                self._finishes_since_resync >= SUBFLOOR_RESYNC_INTERVAL
+                or not self.active_transmissions
+            ):
+                self._resync_subfloor()
+        for radio, _power_mw in self._notify[src_slot]:
             radio.incoming_ended(tx)
+        if subfloor is not None:
+            self._sync_subfloor_busy_edges(self._subfloor_masks[src_slot])
         self._radios[tx.src].transmit_finished(tx)
 
     def busy_fraction_estimate(self) -> float:
-        """Fraction of radios currently observing an active transmission."""
+        """Fraction of radios currently observing an active (audible) transmission."""
         if not self._radios:
             return 0.0
         busy = sum(1 for radio in self._radios.values() if radio.incoming_count > 0)

@@ -28,7 +28,7 @@ from .engine import Simulator
 from .frames import BROADCAST
 from .mac.csma import CsmaMac
 from .mac.tdma import TdmaMac, TdmaSchedule
-from .medium import Medium
+from .medium import DEFAULT_DETECTABILITY_MARGIN_DB, Medium
 from .node import Node
 from .phy import ReceptionModel
 from .radio import Radio
@@ -69,11 +69,21 @@ class WirelessNetwork:
         seed: int = 0,
         cca_threshold_dbm: Optional[float] = -82.0,
         reception: Optional[ReceptionModel] = None,
+        detectability_margin_db: Optional[float] = DEFAULT_DETECTABILITY_MARGIN_DB,
+        cca_noise_db: float = 2.0,
     ) -> None:
+        """``detectability_margin_db`` controls the medium's neighbourhood
+        pruning (see :class:`~repro.simulation.medium.Medium`); pass ``None``
+        for the unpruned reference medium.  ``cca_noise_db`` is the per-frame
+        carrier-sense measurement noise applied by every radio (0 disables
+        it, which also makes pruned and unpruned runs bit-comparable)."""
         self.sim = Simulator()
         self.channel = channel if channel is not None else ChannelModel()
-        self.medium = Medium(self.sim, self.channel)
+        self.medium = Medium(
+            self.sim, self.channel, detectability_margin_db=detectability_margin_db
+        )
         self.default_cca_threshold_dbm = cca_threshold_dbm
+        self.cca_noise_db = cca_noise_db
         self.reception = reception if reception is not None else ReceptionModel()
         self.nodes: Dict[Hashable, Node] = {}
         self._rng = np.random.default_rng(seed)
@@ -116,6 +126,7 @@ class WirelessNetwork:
             self.medium,
             reception=self.reception,
             cca_threshold_dbm=cca_threshold_dbm,
+            cca_noise_db=self.cca_noise_db,
             rng=self._child_rng(),
         )
         self.medium.register(node_id, position, radio)
@@ -165,6 +176,9 @@ class WirelessNetwork:
         if self._started:
             return
         self._started = True
+        # Freeze the topology up front: one vectorized rx-power pass plus the
+        # per-sender pruned notification lists, before any frame hits the air.
+        self.medium.finalize()
         for node in self.nodes.values():
             node.start()
 

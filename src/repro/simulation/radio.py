@@ -13,6 +13,19 @@ it the two capabilities the MAC needs:
   interference seen during the frame, and asks the :class:`ReceptionModel`
   for a verdict when the frame ends.
 
+The total sensed and interfering powers are maintained *incrementally* (one
+add per frame start, one subtract per frame end) rather than re-summed on
+every CCA query, so carrier sense stays O(1) no matter how many frames
+overlap.  Incremental float sums drift, so the radio re-derives both
+accumulators exactly from the per-frame dicts whenever the channel empties
+and, as a backstop, every ``RESYNC_INTERVAL`` mutations.
+
+Under the medium's neighbourhood pruning the radio only receives per-frame
+notifications for transmissions above the detectability floor; the summed
+power of everything below it arrives through the medium's vectorized active
+sub-floor array (``Medium.subfloor_noise_mw``), which the radio folds into
+every CCA and SINR computation so totals match the unpruned path.
+
 State-change notifications (channel busy/idle, frame received, transmission
 finished) are delivered to the owning MAC through callback attributes, which
 the MAC sets when it attaches.
@@ -20,7 +33,8 @@ the MAC sets when it attaches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Optional
 
 import numpy as np
@@ -31,12 +45,32 @@ from .frames import Frame
 from .medium import Medium, Transmission
 from .phy import ReceptionModel, ReceptionOutcome
 
-__all__ = ["Radio", "RadioStats"]
+__all__ = ["Radio", "RadioStats", "RESYNC_INTERVAL"]
+
+#: Mutations (frame starts + ends) between exact accumulator resyncs.
+RESYNC_INTERVAL: int = 1024
+
+
+def _default_rng(node_id: Hashable) -> np.random.Generator:
+    """Deterministic fallback generator, seeded from the node id.
+
+    Callers that care about the global random stream (the scenario layer, the
+    network builder) pass an ``rng`` seeded from the scenario seed; a bare
+    ``Radio(...)`` must still be reproducible run-to-run, so the fallback
+    seeds from a stable hash of the node id instead of OS entropy.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=zlib.crc32(repr(node_id).encode("utf-8")))
+    )
 
 
 @dataclass
 class RadioStats:
-    """Low-level radio counters."""
+    """Low-level radio counters.
+
+    Under a pruning medium, ``frames_missed_while_busy`` and the busy
+    fraction derived from ``incoming_count`` only see above-floor frames.
+    """
 
     frames_transmitted: int = 0
     tx_airtime_s: float = 0.0
@@ -63,22 +97,34 @@ class Radio:
         self.sim = sim
         self.medium = medium
         self.reception = reception if reception is not None else ReceptionModel()
+        #: Index into the medium's vectorized per-radio state; assigned when
+        #: the medium finalises the topology.
+        self._slot: Optional[int] = None
         self.cca_threshold_dbm = cca_threshold_dbm
         # Per-frame measurement noise on the sensed power.  Real clear-channel
         # assessment is a noisy estimate, which is what makes marginal senders
         # "flutter" between deferring and transmitting -- a behaviour the paper
         # observes in its long-range experiments (Section 4.2).
         self.cca_noise_db = cca_noise_db
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else _default_rng(node_id)
         self.stats = RadioStats()
+        # The channel noise floor is immutable over a run; cache the linear
+        # value so CCA queries avoid a dB conversion per call.
+        self._noise_floor_mw = float(medium.noise_floor_mw)
 
         self._incoming_power_mw: Dict[int, float] = {}
         self._incoming_cca_power_mw: Dict[int, float] = {}
         self._incoming_tx: Dict[int, Transmission] = {}
+        # Incremental accumulators over the two dicts above.
+        self._rx_sum_mw = 0.0
+        self._cca_sum_mw = 0.0
+        self._mutations_since_resync = 0
         self._transmitting: Optional[Transmission] = None
         self._locked: Optional[Transmission] = None
         self._locked_power_mw: float = 0.0
-        self._locked_max_interference_mw: float = 0.0
+        # Holds the locked frame's worst-case interference until the medium
+        # finalises and hands out a slot (standalone radios never get one).
+        self._locked_max_interference_local_mw: float = 0.0
 
         # Callbacks wired up by the MAC.
         self.on_channel_busy: Callable[[], None] = lambda: None
@@ -88,7 +134,56 @@ class Radio:
 
         self._was_busy = False
 
+    # -- medium wiring -------------------------------------------------------------
+
+    def _attach_slot(self, slot: int) -> None:
+        """Called by the medium's finalize(): bind this radio to a state slot."""
+        self._slot = slot
+        self.medium._above_sum_mw[slot] = self._rx_sum_mw
+        self.medium._locked_mask[slot] = self._locked is not None
+        self.medium._locked_power_mw[slot] = self._locked_power_mw
+        self.medium._cca_live_mw[slot] = self._cca_sum_mw
+        self.medium._cca_threshold_mw[slot] = self._cca_threshold_mw()
+        self.medium._busy_mirror[slot] = self._was_busy
+        if self._locked is not None:
+            self.medium._locked_max_interference_mw[slot] = (
+                self._locked_max_interference_local_mw
+            )
+
+    def _subfloor_mw(self) -> float:
+        """Active power from senders pruned out of per-frame notifications."""
+        if self._slot is None:
+            return 0.0
+        return self.medium.subfloor_noise_mw(self._slot)
+
+    @property
+    def subfloor_noise_mw(self) -> float:
+        """Public view of the pruned-sender power folded into this radio's noise."""
+        return self._subfloor_mw()
+
     # -- carrier sense ------------------------------------------------------------
+
+    @property
+    def cca_threshold_dbm(self) -> Optional[float]:
+        """CCA busy threshold (dBm); ``None`` disables carrier sense.
+
+        A property so that mid-run threshold changes (tuned/adaptive CCA
+        experiments) also refresh the medium's linear-threshold mirror used
+        by the vectorized sub-floor busy-edge check.
+        """
+        return self._cca_threshold_dbm
+
+    @cca_threshold_dbm.setter
+    def cca_threshold_dbm(self, value: Optional[float]) -> None:
+        self._cca_threshold_dbm = value
+        if self._slot is not None:
+            self.medium._cca_threshold_mw[self._slot] = self._cca_threshold_mw()
+
+    def _cca_threshold_mw(self) -> float:
+        """Linear threshold for the medium's mirror (inf: carrier sense off)."""
+        if self._cca_threshold_dbm is None:
+            return np.inf
+        return float(10.0 ** (self._cca_threshold_dbm / 10.0))
 
     @property
     def carrier_sense_enabled(self) -> bool:
@@ -100,10 +195,37 @@ class Radio:
 
     def sensed_power_mw(self) -> float:
         """Total power the CCA circuit estimates (includes measurement noise)."""
-        return sum(self._incoming_cca_power_mw.values()) + self.medium.noise_floor_mw
+        return self._cca_sum_mw + self._subfloor_mw() + self._noise_floor_mw
 
     def sensed_power_dbm(self) -> float:
         return float(linear_to_db(self.sensed_power_mw()))
+
+    def resync_power_accumulators(self) -> None:
+        """Re-derive the incremental power sums exactly from the frame dicts."""
+        self._rx_sum_mw = sum(self._incoming_power_mw.values())
+        self._cca_sum_mw = sum(self._incoming_cca_power_mw.values())
+        self._mutations_since_resync = 0
+        if self._slot is not None:
+            self.medium._above_sum_mw[self._slot] = self._rx_sum_mw
+            self.medium._cca_live_mw[self._slot] = self._cca_sum_mw
+
+    def _note_mutation(self) -> None:
+        if not self._incoming_power_mw:
+            # An empty channel is the cheapest exact state: reset outright so
+            # drift can never outlive a quiet moment.
+            self._rx_sum_mw = 0.0
+            self._cca_sum_mw = 0.0
+            self._mutations_since_resync = 0
+            if self._slot is not None:
+                self.medium._above_sum_mw[self._slot] = 0.0
+                self.medium._cca_live_mw[self._slot] = 0.0
+            return
+        if self._slot is not None:
+            self.medium._above_sum_mw[self._slot] = self._rx_sum_mw
+            self.medium._cca_live_mw[self._slot] = self._cca_sum_mw
+        self._mutations_since_resync += 1
+        if self._mutations_since_resync >= RESYNC_INTERVAL:
+            self.resync_power_accumulators()
 
     def channel_busy(self) -> bool:
         """CCA verdict: busy when sensed power exceeds the threshold.
@@ -114,12 +236,14 @@ class Radio:
         """
         if not self.carrier_sense_enabled:
             return False
-        if not self._incoming_cca_power_mw:
+        if not self._incoming_cca_power_mw and self._subfloor_mw() == 0.0:
             return False
         return self.sensed_power_dbm() > self.cca_threshold_dbm
 
     def _update_busy_state(self) -> None:
         busy = self.channel_busy()
+        if self._slot is not None:
+            self.medium._busy_mirror[self._slot] = busy
         if busy and not self._was_busy:
             self._was_busy = True
             self.on_channel_busy()
@@ -140,7 +264,7 @@ class Radio:
         if self._locked is not None:
             # Half-duplex: transmitting destroys the frame being received.
             self.stats.receptions_aborted_by_tx += 1
-            self._locked = None
+            self._unlock()
         tx = self.medium.start_transmission(self.node_id, frame)
         self._transmitting = tx
         self.stats.frames_transmitted += 1
@@ -159,22 +283,51 @@ class Radio:
     def _lock_onto(self, tx: Transmission, power_mw: float) -> None:
         self._locked = tx
         self._locked_power_mw = power_mw
-        self._locked_max_interference_mw = self._interference_excluding(tx.tx_id)
+        interference = self._total_interference_excluding(tx.tx_id)
+        if self._slot is None:
+            self._locked_max_interference_local_mw = interference
+            return
+        medium = self.medium
+        medium._locked_mask[self._slot] = True
+        medium._locked_power_mw[self._slot] = power_mw
+        medium._locked_max_interference_mw[self._slot] = interference
+
+    def _unlock(self) -> None:
+        self._locked = None
+        if self._slot is not None:
+            self.medium._locked_mask[self._slot] = False
+
+    def _locked_max_interference(self) -> float:
+        if self._slot is None:
+            return self._locked_max_interference_local_mw
+        return float(self.medium._locked_max_interference_mw[self._slot])
+
+    def _raise_locked_max_interference(self, interference_mw: float) -> None:
+        if self._slot is None:
+            self._locked_max_interference_local_mw = max(
+                self._locked_max_interference_local_mw, interference_mw
+            )
+        else:
+            slot = self._slot
+            self.medium._locked_max_interference_mw[slot] = max(
+                self.medium._locked_max_interference_mw[slot], interference_mw
+            )
 
     def incoming_started(self, tx: Transmission, power_mw: float) -> None:
-        """Called by the medium when any other node's transmission begins."""
+        """Called by the medium when a (detectable) transmission begins."""
         self._incoming_power_mw[tx.tx_id] = power_mw
+        self._rx_sum_mw += power_mw
         self._incoming_tx[tx.tx_id] = tx
         cca_power_mw = power_mw
         if self.cca_noise_db > 0:
             cca_power_mw *= float(10.0 ** (self.rng.normal(0.0, self.cca_noise_db) / 10.0))
         self._incoming_cca_power_mw[tx.tx_id] = cca_power_mw
+        self._cca_sum_mw += cca_power_mw
+        self._note_mutation()
 
         power_dbm = float(linear_to_db(power_mw))
-        interference_mw = self._interference_excluding(tx.tx_id)
-        sinr_db = float(
-            linear_to_db(power_mw / (self.medium.noise_floor_mw + interference_mw))
-        )
+        interference_mw = self._total_interference_excluding(tx.tx_id)
+        sinr_db = float(linear_to_db(power_mw / (self._noise_floor_mw + interference_mw)))
         if self._transmitting is not None:
             self.stats.frames_missed_while_busy += 1
         elif self._locked is None:
@@ -184,25 +337,50 @@ class Radio:
             locked_power_dbm = float(linear_to_db(self._locked_power_mw))
             if self.reception.captures(power_dbm, locked_power_dbm):
                 # Physical-layer capture: the stronger frame steals the lock
-                # and the frame being received so far is lost.
+                # and the frame being received so far is lost.  The displaced
+                # frame still gets a (failed) reception outcome so link-level
+                # failure accounting matches the radio counters.
+                displaced = self._locked
+                displaced_interference_mw = max(
+                    self._locked_max_interference(),
+                    self._total_interference_excluding(displaced.tx_id),
+                )
+                displaced_sinr_db = float(
+                    linear_to_db(
+                        self._locked_power_mw
+                        / (self._noise_floor_mw + displaced_interference_mw)
+                    )
+                )
                 self.stats.frames_failed += 1
                 self._lock_onto(tx, power_mw)
+                self.on_frame_received(
+                    ReceptionOutcome(
+                        frame=displaced.frame,
+                        success=False,
+                        sinr_db=displaced_sinr_db,
+                        success_probability=0.0,
+                    )
+                )
             else:
-                self._locked_max_interference_mw = max(
-                    self._locked_max_interference_mw,
-                    self._interference_excluding(self._locked.tx_id),
+                self._raise_locked_max_interference(
+                    self._total_interference_excluding(self._locked.tx_id)
                 )
         self._update_busy_state()
 
     def incoming_ended(self, tx: Transmission) -> None:
-        """Called by the medium when any other node's transmission ends."""
-        self._incoming_power_mw.pop(tx.tx_id, None)
-        self._incoming_cca_power_mw.pop(tx.tx_id, None)
+        """Called by the medium when a (detectable) transmission ends."""
+        power_mw = self._incoming_power_mw.pop(tx.tx_id, None)
+        if power_mw is not None:
+            self._rx_sum_mw -= power_mw
+        cca_power_mw = self._incoming_cca_power_mw.pop(tx.tx_id, None)
+        if cca_power_mw is not None:
+            self._cca_sum_mw -= cca_power_mw
         self._incoming_tx.pop(tx.tx_id, None)
+        self._note_mutation()
 
         if self._locked is not None and self._locked.tx_id == tx.tx_id:
             sinr_linear = self._locked_power_mw / (
-                self.medium.noise_floor_mw + self._locked_max_interference_mw
+                self._noise_floor_mw + self._locked_max_interference()
             )
             sinr_db = float(linear_to_db(sinr_linear))
             outcome = self.reception.decide(tx.frame, sinr_db, self.rng)
@@ -210,9 +388,14 @@ class Radio:
                 self.stats.frames_decoded += 1
             else:
                 self.stats.frames_failed += 1
-            self._locked = None
+            self._unlock()
             self.on_frame_received(outcome)
         self._update_busy_state()
 
-    def _interference_excluding(self, tx_id: int) -> float:
-        return sum(p for key, p in self._incoming_power_mw.items() if key != tx_id)
+    def _total_interference_excluding(self, tx_id: int) -> float:
+        """All interfering power except ``tx_id``: detectable plus sub-floor."""
+        return (
+            self._rx_sum_mw
+            - self._incoming_power_mw.get(tx_id, 0.0)
+            + self._subfloor_mw()
+        )

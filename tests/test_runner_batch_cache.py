@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.runner import (
+    BatchExecutionError,
     BatchRunner,
     BatchTask,
     ResultCache,
@@ -19,6 +20,10 @@ from repro.scenarios import Scenario, scenario_task
 
 #: A cheap, pure, picklable module-level function usable as a batch task.
 SEED_TASK = "repro.runner.sweep.per_task_seed"
+
+#: A task that can be told to raise (lives inside the package so worker
+#: processes can resolve it by dotted path under any start method).
+FLAKY_TASK = "repro.runner._testing.maybe_fail"
 
 
 class TestExpandGrid:
@@ -128,6 +133,81 @@ class TestBatchRunner:
         retry = BatchRunner(workers=0, cache=cache).run([task])
         assert retry.report.executed == 1
         assert retry.results == outcome.results
+
+
+class TestCorruptEntryEviction:
+    def test_corrupt_entry_unlinked_on_get(self, tmp_path):
+        # Regression: a corrupt entry used to be treated as a miss but left
+        # on disk, so __contains__ kept returning True for a key that get()
+        # would never serve.
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("ab" + "0" * 62, {"x": 1}, {"y": 2})
+        key = "ab" + "0" * 62
+        cache._path(key).write_text("{not json")
+        assert key in cache
+        assert cache.get(key) is None
+        assert key not in cache
+        assert not cache._path(key).exists()
+
+    def test_rewritten_after_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = "cd" + "0" * 62
+        cache.put(key, {"x": 1}, "first")
+        cache._path(key).write_text("\x00binary junk")
+        assert cache.get(key) is None
+        cache.put(key, {"x": 1}, "second")
+        assert cache.get_result(key) == "second"
+
+
+class TestBatchErrorIsolation:
+    def _tasks(self, fail_indices, n=4):
+        return [
+            BatchTask(fn=FLAKY_TASK, config={"value": i, "fail": i in fail_indices})
+            for i in range(n)
+        ]
+
+    def test_serial_failure_keeps_completed_results(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = BatchRunner(workers=0, cache=cache)
+        with pytest.raises(BatchExecutionError) as excinfo:
+            runner.run(self._tasks({1}))
+        error = excinfo.value
+        assert set(error.failures) == {1}
+        assert "exploded" in error.failures[1]
+        # Completed tasks were recorded and stored despite the failure.
+        assert error.outcome.results == [0, None, 4, 6]
+        assert error.outcome.report.executed == 3
+        good = self._tasks({1})
+        assert cache.get_result(good[0].cache_key) == 0
+        assert cache.get_result(good[2].cache_key) == 4
+        assert cache.get(good[1].cache_key) is None
+
+    def test_parallel_failure_keeps_completed_results(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = BatchRunner(workers=2, cache=cache)
+        with pytest.raises(BatchExecutionError) as excinfo:
+            runner.run(self._tasks({0, 2}, n=6))
+        error = excinfo.value
+        assert set(error.failures) == {0, 2}
+        assert error.outcome.results == [None, 2, None, 6, 8, 10]
+        assert error.outcome.report.executed == 4
+
+    def test_rerun_after_failure_only_executes_failed_tasks(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(BatchExecutionError):
+            BatchRunner(workers=0, cache=cache).run(self._tasks({3}))
+        # "Fixed" batch: same configs except the failing one no longer fails;
+        # its config changed, so only that one executes.
+        fixed = self._tasks(set())
+        outcome = BatchRunner(workers=0, cache=cache).run(fixed)
+        assert outcome.results == [0, 2, 4, 6]
+        assert outcome.report.executed == 1
+        assert outcome.report.cache_hits == 3
+
+    def test_failure_summary_mentions_failures(self, tmp_path):
+        with pytest.raises(BatchExecutionError) as excinfo:
+            BatchRunner(workers=0).run(self._tasks({1}))
+        assert "1 failed" in excinfo.value.outcome.report.summary()
 
 
 class TestScenarioCaching:

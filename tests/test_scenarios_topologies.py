@@ -73,6 +73,17 @@ def test_scale_free_grows_hub_degrees():
     assert np.median(list(indegree.values())) <= 2
 
 
+def test_scale_free_multi_hub_validates_hub_count():
+    placement = generate_topology(
+        "scale_free", n_nodes=30, extent=1000.0, seed=1, n_hubs=4
+    )
+    assert len(placement.flows) == 26  # every non-hub node attaches once
+    with pytest.raises(ValueError):
+        generate_topology("scale_free", n_nodes=10, extent=100.0, seed=0, n_hubs=10)
+    with pytest.raises(ValueError):
+        generate_topology("scale_free", n_nodes=10, extent=100.0, seed=0, n_hubs=0)
+
+
 def test_hidden_terminal_geometry():
     placement = generate_topology("hidden_terminal", n_nodes=3, extent=140.0, seed=0)
     (a, r1), (b, r2) = placement.flows

@@ -153,6 +153,25 @@ class TestRadioReception:
         assert any(o.frame.src == "near" for o in successes)
         assert radios["r"].stats.frames_failed >= 1
 
+    def test_capture_delivers_failed_outcome_for_displaced_frame(self):
+        # The frame that loses the lock must surface as a failed reception,
+        # not silently vanish: MAC-level failure accounting has to agree with
+        # the radio's frames_failed counter.
+        positions = {"far": (80, 0), "near": (5, 0), "r": (0, 0)}
+        sim, medium, radios = build_medium(positions, cca=None)
+        outcomes = []
+        radios["r"].on_frame_received = outcomes.append
+        medium.start_transmission("far", data_frame("far"))
+        sim.schedule(1e-4, lambda: medium.start_transmission("near", data_frame("near")))
+        sim.run()
+        displaced = [o for o in outcomes if o.frame.src == "far"]
+        assert len(displaced) == 1
+        assert not displaced[0].success
+        assert displaced[0].success_probability == 0.0
+        # Radio counters and delivered outcomes line up one-to-one.
+        failed_outcomes = sum(1 for o in outcomes if not o.success)
+        assert failed_outcomes == radios["r"].stats.frames_failed
+
     def test_undecodable_preamble_does_not_lock(self):
         # A frame buried under a much stronger ongoing frame never locks, so
         # only the strong frame produces a reception outcome.
@@ -189,6 +208,22 @@ class TestRadioReception:
         radios["a"].transmit(data_frame("a"))
         with pytest.raises(RuntimeError):
             radios["a"].transmit(data_frame("a"))
+
+
+class TestRadioDefaultRng:
+    def test_bare_radio_rng_is_deterministic(self):
+        # A Radio constructed without an rng must not fall back to OS
+        # entropy: runs with cca_noise_db > 0 would silently stop being
+        # reproducible.  The default seeds from the node id.
+        sim = Simulator()
+        medium = Medium(sim, ChannelModel(rng=np.random.default_rng(0)))
+        first = Radio("a", sim, medium)
+        second = Radio("a2", sim, Medium(Simulator(), ChannelModel(rng=np.random.default_rng(0))))
+        again = Radio("a", Simulator(), Medium(Simulator(), ChannelModel(rng=np.random.default_rng(0))))
+        draws = first.rng.random(4)
+        assert np.array_equal(draws, again.rng.random(4))
+        # Distinct node ids get distinct (but still deterministic) streams.
+        assert not np.array_equal(draws, second.rng.random(4))
 
 
 class TestReceptionModel:
