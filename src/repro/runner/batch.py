@@ -4,6 +4,14 @@ A :class:`BatchTask` names its function by dotted path rather than holding a
 callable, so tasks stay picklable under every start method and the cache key
 (function path + config) fully describes the computation.  ``workers <= 1``
 runs everything in-process, which keeps tests fast and stack traces simple.
+
+Dispatch is warm-pool friendly: pending tasks are submitted to the pool in
+chunks (amortising one IPC round trip over several tasks), and an optional
+``group_key`` orders the pending list so that tasks sharing expensive
+worker-side state (e.g. a scenario sweep's per-(topology, propagation) warm
+state, see :mod:`repro.scenarios.execute`) travel in the same chunks and
+therefore tend to run on the same warm worker.  Neither affects results or
+cache keys -- results are re-ordered by task index before they are returned.
 """
 
 from __future__ import annotations
@@ -128,18 +136,38 @@ class BatchRunner:
         workers: int = 0,
         cache: Optional[ResultCache] = None,
         force: bool = False,
+        chunksize: Optional[int] = None,
+        group_key: Optional[Callable[[BatchTask], Any]] = None,
     ) -> None:
         """``workers <= 1`` means in-process serial execution.
 
         ``force`` re-executes every task even on a cache hit (results are
         re-written), which is how a sweep is refreshed after a model change
         without clearing the whole cache directory.
+
+        ``chunksize`` fixes how many tasks ride in one pool submission
+        (default: derived from the batch size so each worker sees a few
+        chunks).  ``group_key`` sorts pending tasks (stably) before
+        submission so tasks with equal keys share chunks -- use it to keep
+        warm worker-side state hot.  Both are pure dispatch knobs: result
+        order and cache keys are unaffected.
         """
         if workers < 0:
             raise ValueError("workers must be non-negative")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be positive")
         self.workers = int(workers)
         self.cache = cache
         self.force = force
+        self.chunksize = chunksize
+        self.group_key = group_key
+
+    def _effective_chunksize(self, pending_count: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        # A few chunks per worker balances IPC amortisation against load
+        # balancing when task durations vary.
+        return max(1, pending_count // (max(1, self.workers) * 4))
 
     def run(self, tasks: Sequence[BatchTask], progress: Callable[[str], None] | None = None) -> BatchOutcome:
         """Execute the batch; results come back in task order."""
@@ -162,9 +190,19 @@ class BatchRunner:
             progress(f"executing {len(pending)}/{len(tasks)} tasks "
                      f"({report.cache_hits} cached)")
 
+        if self.group_key is not None and len(pending) > 1:
+            # Adjacency matters in both branches: chunks land same-group
+            # tasks on one warm worker, and the serial loop's warm LRU stops
+            # thrashing when groups arrive contiguously.
+            group_key = self.group_key
+            pending.sort(key=lambda payload: group_key(tasks[payload[0]]))
+
         if self.workers > 1 and len(pending) > 1:
+            chunksize = self._effective_chunksize(len(pending))
             with multiprocessing.Pool(processes=self.workers) as pool:
-                for index, result, error in pool.imap_unordered(_execute, pending):
+                for index, result, error in pool.imap_unordered(
+                    _execute, pending, chunksize=chunksize
+                ):
                     self._record(tasks, results, report, index, result, error)
         else:
             for payload in pending:

@@ -14,6 +14,7 @@ from .execute import (
     RUN_SCENARIO_PATH,
     aggregate_metrics,
     run_scenario,
+    scenario_group_key,
     scenario_task,
     unpruned_variant,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "generate_topology",
     "register_topology",
     "run_scenario",
+    "scenario_group_key",
     "scenario_task",
     "unpruned_variant",
 ]

@@ -4,25 +4,65 @@
 processes resolve by dotted path (``repro.scenarios.execute.run_scenario``);
 it takes the flattened scenario config as keyword arguments, so a task's
 config is exactly :meth:`Scenario.as_config`.
+
+Warm pools: each worker process keeps a small LRU of
+``(placement, rx-power matrix)`` warm states keyed by
+:meth:`Scenario.warm_key`, so a sweep whose grid points differ only in
+traffic, MAC, or measurement settings pays the O(N^2) topology/propagation
+setup once per group rather than once per task.  The warm state is the exact
+computation finalisation would perform (:meth:`Medium.compute_rx_dbm_matrix`
+with the same seeded channel), so results -- and therefore the sha256 result
+cache keys, which hash only the scenario config -- are untouched.  Sorting a
+batch with :func:`scenario_group_key` keeps same-group tasks in the same
+submission chunks, which maximises per-worker hit rates.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from ..runner.batch import BatchTask
 from .spec import Scenario
 
-__all__ = ["run_scenario", "scenario_task", "aggregate_metrics", "unpruned_variant"]
+__all__ = [
+    "run_scenario",
+    "scenario_task",
+    "scenario_group_key",
+    "aggregate_metrics",
+    "unpruned_variant",
+]
 
 RUN_SCENARIO_PATH = "repro.scenarios.execute.run_scenario"
+
+#: Warm states kept per worker process.  Each holds one placement plus an
+#: N x N float matrix (~2 MB at 500 nodes), so the cap bounds memory while
+#: still covering a handful of interleaved (topology, propagation) groups.
+WARM_CACHE_SIZE = 4
+
+_warm_cache: "OrderedDict[Tuple[Any, ...], Any]" = OrderedDict()
+
+
+def _warm_state_for(scenario: Scenario):
+    """This worker's cached (placement, rx matrix) for the scenario's group."""
+    key = scenario.warm_key()
+    state = _warm_cache.get(key)
+    if state is None:
+        state = scenario.compute_warm_state()
+        _warm_cache[key] = state
+        if len(_warm_cache) > WARM_CACHE_SIZE:
+            _warm_cache.popitem(last=False)
+    else:
+        _warm_cache.move_to_end(key)
+    return state
 
 
 def run_scenario(**config: Any) -> Dict[str, Any]:
     """Build and run one scenario from its plain-dict config."""
-    return Scenario.from_config(config).run()
+    scenario = Scenario.from_config(config)
+    return scenario.run(warm=_warm_state_for(scenario))
 
 
 def unpruned_variant(scenario: Scenario) -> Scenario:
@@ -38,6 +78,22 @@ def unpruned_variant(scenario: Scenario) -> Scenario:
 def scenario_task(scenario: Scenario) -> BatchTask:
     """The batch task that runs ``scenario`` in a worker process."""
     return BatchTask(fn=RUN_SCENARIO_PATH, config=scenario.as_config())
+
+
+def scenario_group_key(task: BatchTask) -> Any:
+    """Warm-group sort key for :class:`~repro.runner.batch.BatchRunner`.
+
+    Orders scenario tasks so that grid points sharing a (topology,
+    propagation) warm state are adjacent, landing in the same submission
+    chunk and therefore (usually) the same warm worker.  Non-scenario tasks
+    sort together at the front, unchanged relative to each other.
+    """
+    if task.fn != RUN_SCENARIO_PATH:
+        return ()
+    try:
+        return ("scenario",) + Scenario.from_config(task.config).warm_key()
+    except (TypeError, ValueError):
+        return ()
 
 
 def aggregate_metrics(results: Sequence[Dict[str, Any]]) -> Dict[str, Any]:

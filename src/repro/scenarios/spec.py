@@ -20,7 +20,7 @@ from ..constants import DEFAULT_TX_POWER_DBM, EXPERIMENT_PAYLOAD_BYTES, FREQ_5_G
 from ..propagation.channel import ChannelModel
 from ..propagation.pathloss import LogDistancePathLoss
 from ..simulation.mac.tdma import TdmaSchedule
-from ..simulation.medium import DEFAULT_DETECTABILITY_MARGIN_DB
+from ..simulation.medium import DEFAULT_DETECTABILITY_MARGIN_DB, Medium
 from ..simulation.network import WirelessNetwork
 from ..simulation.traffic import PoissonTraffic, SaturatedTraffic
 from .topologies import Placement, generate_topology
@@ -125,9 +125,55 @@ class Scenario:
             rng=np.random.default_rng(np.random.SeedSequence(entropy=(int(self.seed), 1))),
         )
 
-    def build_network(self) -> Tuple[WirelessNetwork, Placement]:
-        """Expand the spec into a ready-to-run :class:`WirelessNetwork`."""
+    # Fields that fully determine the node placement and the rx-power matrix.
+    # Scenarios sharing these (grid points differing only in traffic, MAC,
+    # CCA, or measurement settings) can reuse one precomputed warm state.
+    _WARM_FIELDS = (
+        "topology",
+        "n_nodes",
+        "extent_m",
+        "seed",
+        "alpha",
+        "sigma_db",
+        "frequency_hz",
+        "tx_power_dbm",
+        "reference_distance_m",
+        "reference_loss_db",
+    )
+
+    def warm_key(self) -> Tuple[Any, ...]:
+        """Hashable fingerprint of the (topology, propagation) group."""
+        params = tuple(sorted((str(k), repr(v)) for k, v in self.topology_params.items()))
+        return tuple(getattr(self, name) for name in self._WARM_FIELDS) + (params,)
+
+    def compute_warm_state(self) -> Tuple[Placement, Any, Dict[Any, float]]:
+        """Precompute the placement, rx-power matrix, and shadowing pairs.
+
+        The matrix is byte-for-byte what :meth:`Medium.finalize` would
+        compute (same seeded channel, same shadowing draws), so handing it to
+        :meth:`build_network` changes wall-clock only, never results.  The
+        per-pair shadowing values consumed by that computation ride along so
+        the warm network's channel answers per-pair queries (oracle SNRs,
+        link budgets) identically to a cold-built one.
+        """
         placement = self.placement()
+        ids = list(placement.positions)
+        channel = self.channel()
+        rx_dbm = Medium.compute_rx_dbm_matrix(channel, ids, placement.positions)
+        return placement, rx_dbm, dict(channel._pair_shadowing_db)
+
+    def build_network(
+        self, warm: Optional[Tuple[Any, ...]] = None
+    ) -> Tuple[WirelessNetwork, Placement]:
+        """Expand the spec into a ready-to-run :class:`WirelessNetwork`.
+
+        ``warm`` is an optional state from :meth:`compute_warm_state` (for
+        this spec's :meth:`warm_key`); it skips re-generating the topology
+        and re-computing the N x N power matrix when many scenarios share
+        one (topology, propagation) group.  A bare ``(placement, rx_dbm)``
+        pair is also accepted.
+        """
+        placement = warm[0] if warm is not None else self.placement()
         net = WirelessNetwork(
             channel=self.channel(),
             seed=self.seed,
@@ -135,6 +181,12 @@ class Scenario:
             detectability_margin_db=self.detectability_margin_db,
             cca_noise_db=self.cca_noise_db,
         )
+        if warm is not None:
+            net.medium.prime_rx_matrix(
+                list(placement.positions),
+                warm[1],
+                warm[2] if len(warm) > 2 else None,
+            )
         senders = {src: dst for src, dst in placement.flows}
         schedule = None
         if self.mac == "tdma":
@@ -173,9 +225,9 @@ class Scenario:
 
     # -- execution -------------------------------------------------------------
 
-    def run(self) -> Dict[str, Any]:
+    def run(self, warm: Optional[Tuple[Any, ...]] = None) -> Dict[str, Any]:
         """Run the scenario and return JSON-able per-flow and aggregate metrics."""
-        net, placement = self.build_network()
+        net, placement = self.build_network(warm)
         outcome = net.run(self.duration_s)
         per_flow: Dict[str, float] = {}
         for src, dst in placement.flows:

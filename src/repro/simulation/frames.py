@@ -27,7 +27,7 @@ class FrameKind(Enum):
     CTS = "cts"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """An on-air frame.
 
@@ -48,6 +48,10 @@ class Frame:
         Globally unique identifier.
     retry:
         Retry count of this transmission attempt.
+    airtime_s:
+        On-air duration at the frame's PHY rate, computed once at
+        construction (the radio, medium, and MAC all read it repeatedly on
+        the per-frame hot path).
     """
 
     kind: FrameKind
@@ -58,16 +62,19 @@ class Frame:
     sequence: int = 0
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
     retry: int = 0
+    airtime_s: float = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        include_header = self.kind == FrameKind.DATA
+        object.__setattr__(
+            self,
+            "airtime_s",
+            frame_airtime_s(self.payload_bytes, self.rate, include_mac_header=include_header),
+        )
 
     @property
     def is_broadcast(self) -> bool:
         return self.dst == BROADCAST
-
-    @property
-    def airtime_s(self) -> float:
-        """On-air duration of this frame at its PHY rate."""
-        include_header = self.kind == FrameKind.DATA
-        return frame_airtime_s(self.payload_bytes, self.rate, include_mac_header=include_header)
 
     def as_retry(self) -> "Frame":
         """A copy of the frame with the retry counter incremented."""

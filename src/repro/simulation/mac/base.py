@@ -30,6 +30,17 @@ __all__ = ["MacBase", "MacStats"]
 class MacStats:
     """Counters every MAC keeps, shared across implementations."""
 
+    __slots__ = (
+        "data_frames_sent",
+        "data_frames_delivered",
+        "acks_sent",
+        "acks_received",
+        "retries",
+        "drops",
+        "rx_data_frames",
+        "rx_failed_frames",
+    )
+
     def __init__(self) -> None:
         self.data_frames_sent = 0
         self.data_frames_delivered = 0
@@ -41,11 +52,23 @@ class MacStats:
         self.rx_failed_frames = 0
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class MacBase:
     """Common wiring between a MAC, its radio, and its traffic source."""
+
+    __slots__ = (
+        "node_id",
+        "sim",
+        "radio",
+        "rate_selector",
+        "rng",
+        "stats",
+        "traffic",
+        "_sequence",
+        "on_data_received",
+    )
 
     def __init__(
         self,

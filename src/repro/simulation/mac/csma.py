@@ -41,8 +41,9 @@ from ...capacity.rates import (
     SLOT_TIME_S,
     OFDM_RATES,
     RateInfo,
+    frame_airtime_s,
 )
-from ..engine import EventHandle, Simulator
+from ..engine import Simulator
 from ..frames import BROADCAST, Frame, FrameKind
 from ..phy import ReceptionOutcome
 from ..radio import Radio
@@ -56,6 +57,29 @@ _CTS_BYTES = 14
 
 class CsmaMac(MacBase):
     """CSMA/CA (DCF) medium access with optional ACKs and RTS/CTS."""
+
+    __slots__ = (
+        "use_acks",
+        "use_rts_cts",
+        "cw_min",
+        "cw_max",
+        "retry_limit",
+        "difs_s",
+        "sifs_s",
+        "slot_s",
+        "control_rate",
+        "_cw",
+        "_pending",
+        "_backoff_slots_remaining",
+        "_timer",
+        "_backoff_started_at",
+        "_state",
+        "_awaiting_ack_for",
+        "_awaiting_cts_for",
+        "_nav_until",
+        "_ack_timeout_s",
+        "_cts_timeout_s",
+    )
 
     def __init__(
         self,
@@ -92,12 +116,23 @@ class CsmaMac(MacBase):
         self._cw = cw_min
         self._pending: Optional[Frame] = None
         self._backoff_slots_remaining: Optional[int] = None
-        self._timer: Optional[EventHandle] = None
+        # One reusable engine timer covers every exclusive MAC timeout (NAV,
+        # DIFS, backoff, CTS/ACK waits, SIFS-before-data): re-arming recycles
+        # the same scheduler slot instead of allocating a handle per timeout.
+        self._timer = sim.timer()
         self._backoff_started_at: Optional[float] = None
         self._state = "idle"
         self._awaiting_ack_for: Optional[Frame] = None
         self._awaiting_cts_for: Optional[Frame] = None
         self._nav_until = 0.0
+        # Control-frame response timeouts are fixed by the control rate;
+        # precompute them instead of building a throwaway Frame per wait.
+        self._ack_timeout_s = sifs_s + 2 * slot_s + frame_airtime_s(
+            ACK_BYTES, control_rate, include_mac_header=False
+        )
+        self._cts_timeout_s = sifs_s + 2 * slot_s + frame_airtime_s(
+            _CTS_BYTES, control_rate, include_mac_header=False
+        )
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -134,9 +169,7 @@ class CsmaMac(MacBase):
     # ------------------------------------------------------------------ access
 
     def _cancel_timer(self) -> None:
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
+        self._timer.cancel()
 
     def _begin_access(self) -> None:
         """Start (or restart) the DIFS + backoff procedure for the pending frame."""
@@ -148,22 +181,19 @@ class CsmaMac(MacBase):
         if self.radio.channel_busy() or self.sim.now < self._nav_until:
             self._state = "wait_idle"
             if self.sim.now < self._nav_until:
-                self._timer = self.sim.schedule_at(self._nav_until, self._nav_expired)
+                self._timer.arm_at(self._nav_until, self._nav_expired)
             return
         self._start_difs()
 
     def _nav_expired(self) -> None:
-        self._timer = None
         if self._state == "wait_idle":
             self._begin_access()
 
     def _start_difs(self) -> None:
         self._state = "difs"
-        self._cancel_timer()
-        self._timer = self.sim.schedule(self.difs_s, self._difs_elapsed)
+        self._timer.arm(self.difs_s, self._difs_elapsed)
 
     def _difs_elapsed(self) -> None:
-        self._timer = None
         if self._state != "difs":
             return
         self._start_backoff()
@@ -175,10 +205,9 @@ class CsmaMac(MacBase):
             self._transmit_pending()
             return
         self._backoff_started_at = self.sim.now
-        self._timer = self.sim.schedule(slots * self.slot_s, self._backoff_elapsed)
+        self._timer.arm(slots * self.slot_s, self._backoff_elapsed)
 
     def _backoff_elapsed(self) -> None:
-        self._timer = None
         if self._state != "backoff":
             return
         self._backoff_slots_remaining = 0
@@ -224,7 +253,6 @@ class CsmaMac(MacBase):
         self.radio.transmit(rts)
 
     def _cts_timeout(self) -> None:
-        self._timer = None
         if self._awaiting_cts_for is None:
             return
         self._awaiting_cts_for = None
@@ -257,14 +285,7 @@ class CsmaMac(MacBase):
             if self.use_acks and not frame.is_broadcast:
                 self._state = "wait_ack"
                 self._awaiting_ack_for = frame
-                timeout = self.sifs_s + 2 * self.slot_s + Frame(
-                    kind=FrameKind.ACK,
-                    src=frame.dst,
-                    dst=self.node_id,
-                    payload_bytes=ACK_BYTES,
-                    rate=self.control_rate,
-                ).airtime_s
-                self._timer = self.sim.schedule(timeout, self._ack_timeout)
+                self._timer.arm(self._ack_timeout_s, self._ack_timeout)
                 return
             # Broadcast (or unacknowledged) delivery is fire-and-forget.
             self.stats.data_frames_delivered += 1
@@ -272,15 +293,8 @@ class CsmaMac(MacBase):
                 self.traffic.notify_sent(frame)
             self._advance_after_success()
         elif frame.kind == FrameKind.RTS:
-            timeout = self.sifs_s + 2 * self.slot_s + Frame(
-                kind=FrameKind.CTS,
-                src=frame.dst,
-                dst=self.node_id,
-                payload_bytes=_CTS_BYTES,
-                rate=self.control_rate,
-            ).airtime_s
             self._state = "wait_cts"
-            self._timer = self.sim.schedule(timeout, self._cts_timeout)
+            self._timer.arm(self._cts_timeout_s, self._cts_timeout)
         elif frame.kind in (FrameKind.ACK, FrameKind.CTS):
             # Control responses need no follow-up; resume whatever was pending.
             if self._pending is not None and self._state == "responding":
@@ -327,7 +341,7 @@ class CsmaMac(MacBase):
                 self._cancel_timer()
                 self._awaiting_cts_for = None
                 self._state = "sifs_before_data"
-                self._timer = self.sim.schedule(self.sifs_s, self._send_data)
+                self._timer.arm(self.sifs_s, self._send_data)
             else:
                 self._set_nav(frame)
 
@@ -352,7 +366,7 @@ class CsmaMac(MacBase):
                 self._state = "responding"
             self.radio.transmit(ack)
 
-        self.sim.schedule(self.sifs_s, send_ack)
+        self.sim.schedule_call(self.sifs_s, send_ack)
 
     def _schedule_cts(self, rts_frame: Frame) -> None:
         def send_cts() -> None:
@@ -372,7 +386,7 @@ class CsmaMac(MacBase):
                 self._state = "responding"
             self.radio.transmit(cts)
 
-        self.sim.schedule(self.sifs_s, send_cts)
+        self.sim.schedule_call(self.sifs_s, send_cts)
 
     def _set_nav(self, frame: Frame) -> None:
         """Virtual carrier sense: defer for a conservative exchange duration."""
@@ -382,7 +396,6 @@ class CsmaMac(MacBase):
     # ------------------------------------------------------------------ retry / advance
 
     def _ack_timeout(self) -> None:
-        self._timer = None
         if self._awaiting_ack_for is None:
             return
         frame = self._awaiting_ack_for

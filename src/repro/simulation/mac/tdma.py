@@ -93,6 +93,8 @@ class TdmaSchedule:
 class TdmaMac(MacBase):
     """Transmit saturated traffic only within this node's TDMA slots."""
 
+    __slots__ = ("schedule", "guard_time_s", "_pending", "_wakeup")
+
     def __init__(
         self,
         node_id: Hashable,
@@ -107,7 +109,8 @@ class TdmaMac(MacBase):
         self.schedule = schedule
         self.guard_time_s = guard_time_s
         self._pending: Optional[Frame] = None
-        self._wakeup = None
+        # Single reusable wakeup timer: re-arming recycles its engine slot.
+        self._wakeup = sim.timer()
 
     def start(self) -> None:
         if self.node_id not in self.schedule.slot_owners:
@@ -140,9 +143,7 @@ class TdmaMac(MacBase):
 
     def _set_wakeup(self, delay_s: float) -> None:
         """(Re)arm the single outstanding retry event."""
-        if self._wakeup is not None:
-            self._wakeup.cancel()
-        self._wakeup = self.sim.schedule(delay_s, self._try_transmit)
+        self._wakeup.arm(delay_s, self._try_transmit)
 
     def _schedule_wakeup(self) -> None:
         """Arrange to try transmitting at the start of the next owned slot."""
@@ -163,7 +164,6 @@ class TdmaMac(MacBase):
             self._set_wakeup(0.0)
 
     def _try_transmit(self) -> None:
-        self._wakeup = None
         if self._pending is None:
             self._load_next_frame()
         if self._pending is None:

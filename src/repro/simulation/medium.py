@@ -48,14 +48,24 @@ from typing import Dict, Hashable, List, Optional, Tuple
 import numpy as np
 
 from ..propagation.channel import ChannelModel
+from ..units import linear_to_db
 from .engine import Simulator
 from .frames import Frame
 
-__all__ = ["Transmission", "Medium", "DEFAULT_DETECTABILITY_MARGIN_DB"]
+__all__ = [
+    "Transmission",
+    "Medium",
+    "DEFAULT_DETECTABILITY_MARGIN_DB",
+    "DEFAULT_MIN_DISTANCE_M",
+]
 
 _transmission_ids = itertools.count()
 
 Position = Tuple[float, float]
+
+#: Pairs closer than this are clamped to it, avoiding unphysical powers when
+#: two nodes are placed (nearly) on top of each other.
+DEFAULT_MIN_DISTANCE_M: float = 0.5
 
 #: Default pruning margin below the noise floor (dB).  With the default
 #: noise floor (~-94 dBm) the detectability floor sits at about -110 dBm,
@@ -69,7 +79,7 @@ DEFAULT_DETECTABILITY_MARGIN_DB: float = 16.0
 SUBFLOOR_RESYNC_INTERVAL: int = 4096
 
 
-@dataclass
+@dataclass(slots=True)
 class Transmission:
     """One in-flight frame on the medium."""
 
@@ -107,7 +117,7 @@ class Medium:
         self,
         sim: Simulator,
         channel: ChannelModel,
-        min_distance_m: float = 0.5,
+        min_distance_m: float = DEFAULT_MIN_DISTANCE_M,
         detectability_margin_db: Optional[float] = DEFAULT_DETECTABILITY_MARGIN_DB,
     ) -> None:
         if detectability_margin_db is not None and detectability_margin_db < 0:
@@ -120,13 +130,19 @@ class Medium:
         self._radios: Dict[Hashable, "Radio"] = {}
         self._rx_power_cache: Dict[Tuple[Hashable, Hashable], float] = {}
         self.active_transmissions: Dict[int, Transmission] = {}
+        # Optional precomputed rx-power matrix (see prime_rx_matrix).
+        self._primed_ids: Optional[Tuple[Hashable, ...]] = None
+        self._primed_rx_dbm: Optional[np.ndarray] = None
 
         # Populated by finalize().
         self._finalized = False
         self._index: Dict[Hashable, int] = {}
         self._rx_dbm_matrix: Optional[np.ndarray] = None
         self._rx_mw_matrix: Optional[np.ndarray] = None
-        self._notify: List[List[Tuple["Radio", float]]] = []
+        # Per-sender notification table: (radio, power_mw, power_dbm) per
+        # audible receiver.  The dBm value is precomputed at finalisation so
+        # the per-frame deliver path never converts units.
+        self._notify: List[List[Tuple["Radio", float, float]]] = []
         # Per-sender sub-floor contributions (zero where above floor / self),
         # None for senders every receiver can hear.
         self._subfloor_rows: List[Optional[np.ndarray]] = []
@@ -196,6 +212,73 @@ class Medium:
             return None
         return self.channel.noise_floor_dbm - self.detectability_margin_db
 
+    @staticmethod
+    def compute_rx_dbm_matrix(
+        channel: ChannelModel,
+        ids: List[Hashable],
+        positions: Dict[Hashable, Position],
+        min_distance_m: float = DEFAULT_MIN_DISTANCE_M,
+    ) -> np.ndarray:
+        """The N x N received-power matrix (dBm) finalisation computes.
+
+        Factored out so the warm-pool dispatch path (see
+        :mod:`repro.scenarios.execute`) can precompute the matrix once per
+        (topology, propagation) group and hand it to later networks through
+        :meth:`prime_rx_matrix` -- byte-for-byte the same computation either
+        way, including the shadowing draws consumed from ``channel``'s rng.
+        """
+        coords = np.asarray([positions[node_id] for node_id in ids], dtype=float)
+        dx = coords[:, 0][:, None] - coords[:, 0][None, :]
+        dy = coords[:, 1][:, None] - coords[:, 1][None, :]
+        distances = np.hypot(dx, dy)
+        np.maximum(distances, min_distance_m, out=distances)
+        rx_dbm = channel.rx_power_matrix(ids, distances)
+        np.fill_diagonal(rx_dbm, -np.inf)
+        return rx_dbm
+
+    def prime_rx_matrix(
+        self,
+        ids: List[Hashable],
+        rx_dbm: np.ndarray,
+        pair_shadowing_db: Optional[Dict] = None,
+    ) -> None:
+        """Provide a precomputed rx-power matrix for the coming finalisation.
+
+        ``ids`` must list every registered node in registration order by the
+        time :meth:`finalize` runs, and ``rx_dbm`` must be the matrix
+        :meth:`compute_rx_dbm_matrix` would produce for this medium's channel
+        (same channel config and rng seed).  ``pair_shadowing_db`` is the
+        channel's per-pair shadowing cache as populated by that computation;
+        installing it keeps later per-pair queries (``rx_power_dbm`` before
+        finalisation, oracle SNRs, link budgets) consistent with the primed
+        matrix instead of lazily re-drawing different values.
+
+        Priming is only sound while the channel's shadowing cache is still
+        untouched: if pairs were already drawn or pinned, the primed state is
+        discarded and finalisation computes everything itself.  The caller
+        must not pin shadowing values between priming and finalisation.
+        """
+        if self.channel._pair_shadowing_db:
+            # The channel already has draws/pins the primed matrix cannot
+            # account for; refuse the shortcut rather than risk divergence.
+            self._primed_ids = None
+            self._primed_rx_dbm = None
+            return
+        self._primed_ids = tuple(ids)
+        self._primed_rx_dbm = np.asarray(rx_dbm, dtype=float)
+        if pair_shadowing_db:
+            self.channel._pair_shadowing_db.update(pair_shadowing_db)
+
+    def _primed_matrix_for(self, ids: List[Hashable]) -> Optional[np.ndarray]:
+        if self._primed_rx_dbm is None:
+            return None
+        if self._primed_ids != tuple(ids):
+            return None
+        if self._primed_rx_dbm.shape != (len(ids), len(ids)):
+            return None
+        # Copy: the primed matrix may be shared by many media (warm cache).
+        return self._primed_rx_dbm.copy()
+
     def finalize(self) -> None:
         """Freeze the topology: batch-compute rx powers and notification lists.
 
@@ -229,18 +312,22 @@ class Medium:
             self._finalized = True
             return
 
-        coords = np.asarray([self._positions[node_id] for node_id in ids], dtype=float)
-        dx = coords[:, 0][:, None] - coords[:, 0][None, :]
-        dy = coords[:, 1][:, None] - coords[:, 1][None, :]
-        distances = np.hypot(dx, dy)
-        np.maximum(distances, self.min_distance_m, out=distances)
-
-        rx_dbm = self.channel.rx_power_matrix(ids, distances)
-        np.fill_diagonal(rx_dbm, -np.inf)
+        rx_dbm = self._primed_matrix_for(ids)
+        if rx_dbm is None:
+            rx_dbm = self.compute_rx_dbm_matrix(
+                self.channel, ids, self._positions, self.min_distance_m
+            )
         rx_mw = np.power(10.0, rx_dbm / 10.0)  # diagonal decays to exactly 0
 
         floor = self.detectability_floor_dbm
-        notify: List[List[Tuple["Radio", float]]] = []
+        # Per-link received power in dBm, computed exactly the way the
+        # per-frame path used to (a round trip through linear milliwatts --
+        # deliberately NOT rx_dbm, whose floats differ in the last ulp).
+        # Both matrices drop to Python-float row lists once, so building the
+        # notification table avoids per-element numpy scalar extraction.
+        mw_rows = rx_mw.tolist()
+        dbm_rows = linear_to_db(rx_mw).tolist()
+        notify: List[List[Tuple["Radio", float, float]]] = []
         subfloor_rows: List[Optional[np.ndarray]] = []
         subfloor_masks: List[Optional[np.ndarray]] = []
         for i in range(n):
@@ -259,7 +346,9 @@ class Medium:
                 else:
                     subfloor_rows.append(None)
                     subfloor_masks.append(None)
-            notify.append([(radios[j], float(rx_mw[i, j])) for j in audible])
+            row_mw = mw_rows[i]
+            row_dbm = dbm_rows[i]
+            notify.append([(radios[j], row_mw[j], row_dbm[j]) for j in audible])
 
         for slot, radio in enumerate(radios):
             radio._attach_slot(slot)
@@ -274,7 +363,7 @@ class Medium:
     def neighborhood(self, src: Hashable) -> List[Hashable]:
         """Node ids notified per-frame when ``src`` transmits (after finalisation)."""
         self.finalize()
-        return [radio.node_id for radio, _ in self._notify[self._index[src]]]
+        return [entry[0].node_id for entry in self._notify[self._index[src]]]
 
     # -- vectorized per-slot state (used by Radio) -------------------------------
 
@@ -374,11 +463,11 @@ class Medium:
                 )
                 self._locked_max_interference_mw[mask] = interference
 
-        for radio, power_mw in self._notify[src_slot]:
-            radio.incoming_started(tx, power_mw)
+        for radio, power_mw, power_dbm in self._notify[src_slot]:
+            radio.incoming_started(tx, power_mw, power_dbm)
         if subfloor is not None:
             self._sync_subfloor_busy_edges(self._subfloor_masks[src_slot])
-        self.sim.schedule(duration, lambda: self._finish_transmission(tx))
+        self.sim.schedule_call(duration, lambda: self._finish_transmission(tx))
         return tx
 
     def _finish_transmission(self, tx: Transmission) -> None:
@@ -393,8 +482,8 @@ class Medium:
                 or not self.active_transmissions
             ):
                 self._resync_subfloor()
-        for radio, _power_mw in self._notify[src_slot]:
-            radio.incoming_ended(tx)
+        for entry in self._notify[src_slot]:
+            entry[0].incoming_ended(tx)
         if subfloor is not None:
             self._sync_subfloor_busy_edges(self._subfloor_masks[src_slot])
         self._radios[tx.src].transmit_finished(tx)

@@ -13,7 +13,7 @@ from .traffic import TrafficSource
 __all__ = ["Node"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Node:
     """One wireless station.
 

@@ -31,7 +31,7 @@ from .frames import Frame, FrameKind
 __all__ = ["ReceptionModel", "ReceptionOutcome"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReceptionOutcome:
     """The result of attempting to decode one frame."""
 
@@ -41,7 +41,7 @@ class ReceptionOutcome:
     success_probability: float
 
 
-@dataclass
+@dataclass(slots=True)
 class ReceptionModel:
     """SINR-based frame reception decisions.
 

@@ -26,6 +26,15 @@ power of everything below it arrives through the medium's vectorized active
 sub-floor array (``Medium.subfloor_noise_mw``), which the radio folds into
 every CCA and SINR computation so totals match the unpruned path.
 
+Hot-path layout: the class uses ``__slots__``, the medium hands each
+notification the link's received power in *both* milliwatts and dBm (the dBm
+value comes from a table precomputed at finalisation, so the per-frame path
+never converts units), and the remaining dynamic dB conversions (SINR at
+decode time, CCA verdicts) go through :func:`_lin_to_db_scalar`, a lean
+scalar equivalent of :func:`repro.units.linear_to_db` that skips the array
+coercion and errstate machinery while producing bit-identical values for
+positive inputs.
+
 State-change notifications (channel busy/idle, frame received, transmission
 finished) are delivered to the owning MAC through callback attributes, which
 the MAC sets when it attaches.
@@ -39,7 +48,6 @@ from typing import Callable, Dict, Hashable, Optional
 
 import numpy as np
 
-from ..units import linear_to_db
 from .engine import Simulator
 from .frames import Frame
 from .medium import Medium, Transmission
@@ -49,6 +57,14 @@ __all__ = ["Radio", "RadioStats", "RESYNC_INTERVAL"]
 
 #: Mutations (frame starts + ends) between exact accumulator resyncs.
 RESYNC_INTERVAL: int = 1024
+
+_np_log10 = np.log10
+
+
+def _lin_to_db_scalar(value_mw: float) -> float:
+    """``float(linear_to_db(x))`` for strictly positive scalars, minus the
+    array/errstate overhead (verified bit-identical for positive inputs)."""
+    return 10.0 * float(_np_log10(value_mw))
 
 
 def _default_rng(node_id: Hashable) -> np.random.Generator:
@@ -64,7 +80,7 @@ def _default_rng(node_id: Hashable) -> np.random.Generator:
     )
 
 
-@dataclass
+@dataclass(slots=True)
 class RadioStats:
     """Low-level radio counters.
 
@@ -82,6 +98,35 @@ class RadioStats:
 
 class Radio:
     """A half-duplex radio attached to the shared medium."""
+
+    __slots__ = (
+        "node_id",
+        "sim",
+        "medium",
+        "reception",
+        "_slot",
+        "_cca_threshold_dbm",
+        "cca_noise_db",
+        "rng",
+        "stats",
+        "_noise_floor_mw",
+        "_incoming_power_mw",
+        "_incoming_cca_power_mw",
+        "_incoming_tx",
+        "_rx_sum_mw",
+        "_cca_sum_mw",
+        "_mutations_since_resync",
+        "_transmitting",
+        "_locked",
+        "_locked_power_mw",
+        "_locked_power_dbm",
+        "_locked_max_interference_local_mw",
+        "on_channel_busy",
+        "on_channel_idle",
+        "on_frame_received",
+        "on_transmit_complete",
+        "_was_busy",
+    )
 
     def __init__(
         self,
@@ -122,6 +167,7 @@ class Radio:
         self._transmitting: Optional[Transmission] = None
         self._locked: Optional[Transmission] = None
         self._locked_power_mw: float = 0.0
+        self._locked_power_dbm: float = -np.inf
         # Holds the locked frame's worst-case interference until the medium
         # finalises and hands out a slot (standalone radios never get one).
         self._locked_max_interference_local_mw: float = 0.0
@@ -187,7 +233,7 @@ class Radio:
 
     @property
     def carrier_sense_enabled(self) -> bool:
-        return self.cca_threshold_dbm is not None
+        return self._cca_threshold_dbm is not None
 
     @property
     def incoming_count(self) -> int:
@@ -198,7 +244,7 @@ class Radio:
         return self._cca_sum_mw + self._subfloor_mw() + self._noise_floor_mw
 
     def sensed_power_dbm(self) -> float:
-        return float(linear_to_db(self.sensed_power_mw()))
+        return _lin_to_db_scalar(self.sensed_power_mw())
 
     def resync_power_accumulators(self) -> None:
         """Re-derive the incremental power sums exactly from the frame dicts."""
@@ -234,22 +280,22 @@ class Radio:
         radio never considers the channel busy because of its *own*
         transmission (the MAC already knows when it is transmitting).
         """
-        if not self.carrier_sense_enabled:
+        if self._cca_threshold_dbm is None:
             return False
         if not self._incoming_cca_power_mw and self._subfloor_mw() == 0.0:
             return False
-        return self.sensed_power_dbm() > self.cca_threshold_dbm
+        return self.sensed_power_dbm() > self._cca_threshold_dbm
 
     def _update_busy_state(self) -> None:
         busy = self.channel_busy()
         if self._slot is not None:
             self.medium._busy_mirror[self._slot] = busy
-        if busy and not self._was_busy:
-            self._was_busy = True
-            self.on_channel_busy()
-        elif not busy and self._was_busy:
-            self._was_busy = False
-            self.on_channel_idle()
+        if busy != self._was_busy:
+            self._was_busy = busy
+            if busy:
+                self.on_channel_busy()
+            else:
+                self.on_channel_idle()
 
     # -- transmission ---------------------------------------------------------------
 
@@ -280,9 +326,12 @@ class Radio:
 
     # -- reception ------------------------------------------------------------------
 
-    def _lock_onto(self, tx: Transmission, power_mw: float) -> None:
+    def _lock_onto(self, tx: Transmission, power_mw: float, power_dbm: Optional[float] = None) -> None:
         self._locked = tx
         self._locked_power_mw = power_mw
+        self._locked_power_dbm = (
+            power_dbm if power_dbm is not None else _lin_to_db_scalar(power_mw)
+        )
         interference = self._total_interference_excluding(tx.tx_id)
         if self._slot is None:
             self._locked_max_interference_local_mw = interference
@@ -313,29 +362,43 @@ class Radio:
                 self.medium._locked_max_interference_mw[slot], interference_mw
             )
 
-    def incoming_started(self, tx: Transmission, power_mw: float) -> None:
-        """Called by the medium when a (detectable) transmission begins."""
-        self._incoming_power_mw[tx.tx_id] = power_mw
+    def incoming_started(
+        self, tx: Transmission, power_mw: float, power_dbm: Optional[float] = None
+    ) -> None:
+        """Called by the medium when a (detectable) transmission begins.
+
+        ``power_dbm`` is the same received power in dBm; a finalised medium
+        passes it from its precomputed per-link table, while direct callers
+        (tests, unfinalised media) may omit it.
+        """
+        if power_dbm is None:
+            power_dbm = _lin_to_db_scalar(power_mw)
+        tx_id = tx.tx_id
+        self._incoming_power_mw[tx_id] = power_mw
         self._rx_sum_mw += power_mw
-        self._incoming_tx[tx.tx_id] = tx
+        self._incoming_tx[tx_id] = tx
         cca_power_mw = power_mw
         if self.cca_noise_db > 0:
             cca_power_mw *= float(10.0 ** (self.rng.normal(0.0, self.cca_noise_db) / 10.0))
-        self._incoming_cca_power_mw[tx.tx_id] = cca_power_mw
+        self._incoming_cca_power_mw[tx_id] = cca_power_mw
         self._cca_sum_mw += cca_power_mw
         self._note_mutation()
 
-        power_dbm = float(linear_to_db(power_mw))
-        interference_mw = self._total_interference_excluding(tx.tx_id)
-        sinr_db = float(linear_to_db(power_mw / (self._noise_floor_mw + interference_mw)))
         if self._transmitting is not None:
             self.stats.frames_missed_while_busy += 1
         elif self._locked is None:
-            if self.reception.preamble_detectable(power_dbm, sinr_db):
-                self._lock_onto(tx, power_mw)
+            reception = self.reception
+            if power_dbm >= reception.sensitivity_dbm:
+                interference_mw = self._total_interference_excluding(tx_id)
+                sinr_db = _lin_to_db_scalar(power_mw / (self._noise_floor_mw + interference_mw))
+                if sinr_db >= reception.preamble_snr_threshold_db:
+                    self._lock_onto(tx, power_mw, power_dbm)
         else:
-            locked_power_dbm = float(linear_to_db(self._locked_power_mw))
-            if self.reception.captures(power_dbm, locked_power_dbm):
+            reception = self.reception
+            if (
+                power_dbm >= reception.sensitivity_dbm
+                and power_dbm >= self._locked_power_dbm + reception.capture_margin_db
+            ):
                 # Physical-layer capture: the stronger frame steals the lock
                 # and the frame being received so far is lost.  The displaced
                 # frame still gets a (failed) reception outcome so link-level
@@ -345,14 +408,12 @@ class Radio:
                     self._locked_max_interference(),
                     self._total_interference_excluding(displaced.tx_id),
                 )
-                displaced_sinr_db = float(
-                    linear_to_db(
-                        self._locked_power_mw
-                        / (self._noise_floor_mw + displaced_interference_mw)
-                    )
+                displaced_sinr_db = _lin_to_db_scalar(
+                    self._locked_power_mw
+                    / (self._noise_floor_mw + displaced_interference_mw)
                 )
                 self.stats.frames_failed += 1
-                self._lock_onto(tx, power_mw)
+                self._lock_onto(tx, power_mw, power_dbm)
                 self.on_frame_received(
                     ReceptionOutcome(
                         frame=displaced.frame,
@@ -369,20 +430,22 @@ class Radio:
 
     def incoming_ended(self, tx: Transmission) -> None:
         """Called by the medium when a (detectable) transmission ends."""
-        power_mw = self._incoming_power_mw.pop(tx.tx_id, None)
+        tx_id = tx.tx_id
+        power_mw = self._incoming_power_mw.pop(tx_id, None)
         if power_mw is not None:
             self._rx_sum_mw -= power_mw
-        cca_power_mw = self._incoming_cca_power_mw.pop(tx.tx_id, None)
+        cca_power_mw = self._incoming_cca_power_mw.pop(tx_id, None)
         if cca_power_mw is not None:
             self._cca_sum_mw -= cca_power_mw
-        self._incoming_tx.pop(tx.tx_id, None)
+        self._incoming_tx.pop(tx_id, None)
         self._note_mutation()
 
-        if self._locked is not None and self._locked.tx_id == tx.tx_id:
+        locked = self._locked
+        if locked is not None and locked.tx_id == tx_id:
             sinr_linear = self._locked_power_mw / (
                 self._noise_floor_mw + self._locked_max_interference()
             )
-            sinr_db = float(linear_to_db(sinr_linear))
+            sinr_db = _lin_to_db_scalar(sinr_linear)
             outcome = self.reception.decide(tx.frame, sinr_db, self.rng)
             if outcome.success:
                 self.stats.frames_decoded += 1

@@ -26,6 +26,8 @@ Packet = Tuple[Hashable, int]
 class TrafficSource:
     """Interface the MAC uses to pull packets from the application layer."""
 
+    __slots__ = ()
+
     def next_packet(self) -> Optional[Packet]:
         """Return ``(destination, payload_bytes)`` or ``None`` when idle."""
         raise NotImplementedError
@@ -34,7 +36,7 @@ class TrafficSource:
         """Called by the MAC when a packet's transmission attempt concludes."""
 
 
-@dataclass
+@dataclass(slots=True)
 class SaturatedTraffic(TrafficSource):
     """An always-backlogged source sending fixed-size packets to one destination."""
 
@@ -51,7 +53,7 @@ class SaturatedTraffic(TrafficSource):
         self.packets_sent += 1
 
 
-@dataclass
+@dataclass(slots=True)
 class PoissonTraffic(TrafficSource):
     """Open-loop Poisson arrivals with a bounded queue.
 
@@ -72,6 +74,7 @@ class PoissonTraffic(TrafficSource):
     #: Invoked whenever a packet arrives into an empty queue, so a dormant
     #: MAC can resume its access procedure (see ``MacBase.notify_traffic``).
     on_arrival: Optional[callable] = None
+    _queue_depth: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.rate_pps <= 0:
@@ -83,7 +86,7 @@ class PoissonTraffic(TrafficSource):
 
     def _schedule_next_arrival(self) -> None:
         gap = float(self.rng.exponential(1.0 / self.rate_pps))
-        self.sim.schedule(gap, self._arrival)
+        self.sim.schedule_call(gap, self._arrival)
 
     def _arrival(self) -> None:
         self.packets_offered += 1

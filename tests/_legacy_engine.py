@@ -1,0 +1,158 @@
+"""Frozen copy of the pre-slab (PR 2) discrete-event engine.
+
+The equivalence tests run whole scenarios against this reference
+implementation and assert that the slab scheduler in
+:mod:`repro.simulation.engine` produces identical ``events_processed`` counts
+and per-flow statistics.  The heap of ``_QueueEntry`` dataclasses below is the
+exact code the slab engine replaced; the only additions are thin shims for the
+newer engine API (``schedule_call``, ``schedule_many``, ``timer``) so that
+current MAC/medium code runs unmodified on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+__all__ = ["LegacyEventHandle", "LegacySimulator"]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+@dataclass
+class LegacyEventHandle:
+    """Handle returned by :meth:`LegacySimulator.schedule`."""
+
+    _entry: _QueueEntry
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    def cancel(self) -> None:
+        self._entry.cancelled = True
+
+
+class _LegacyTimer:
+    """Shim matching the slab engine's reusable timer on the legacy heap."""
+
+    def __init__(self, sim: "LegacySimulator") -> None:
+        self._sim = sim
+        self._handle: Optional[LegacyEventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def time(self) -> float:
+        if not self.armed:
+            raise RuntimeError("timer is not armed")
+        return self._handle.time
+
+    def arm(self, delay: float, callback: Callable[[], None]) -> None:
+        self.cancel()
+        wrapped = self._wrap(callback)
+        self._handle = self._sim.schedule(delay, wrapped)
+
+    def arm_at(self, time: float, callback: Callable[[], None]) -> None:
+        self.cancel()
+        wrapped = self._wrap(callback)
+        self._handle = self._sim.schedule_at(time, wrapped)
+
+    def _wrap(self, callback: Callable[[], None]) -> Callable[[], None]:
+        def fire() -> None:
+            self._handle = None
+            callback()
+
+        return fire
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+
+class LegacySimulator:
+    """Priority-queue discrete-event simulator (pre-slab reference)."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[_QueueEntry] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for entry in self._queue if not entry.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> LegacyEventHandle:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        entry = _QueueEntry(self._now + delay, next(self._sequence), callback)
+        heapq.heappush(self._queue, entry)
+        return LegacyEventHandle(entry)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> LegacyEventHandle:
+        if time < self._now:
+            raise ValueError(f"cannot schedule into the past (time={time}, now={self._now})")
+        return self.schedule(time - self._now, callback)
+
+    # -- newer-API shims ---------------------------------------------------------
+
+    def schedule_call(self, delay: float, callback: Callable[[], None]) -> None:
+        self.schedule(delay, callback)
+
+    def schedule_many(self, items: Iterable[Tuple[float, Callable[[], None]]]) -> None:
+        for delay, callback in items:
+            self.schedule(delay, callback)
+
+    def timer(self) -> _LegacyTimer:
+        return _LegacyTimer(self)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        while self._queue:
+            entry = self._queue[0]
+            if until is not None and entry.time > until:
+                break
+            heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.callback()
+            self._events_processed += 1
+        if until is not None and until > self._now:
+            self._now = until
+
+    def step(self) -> bool:
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.callback()
+            self._events_processed += 1
+            return True
+        return False

@@ -102,6 +102,21 @@ class TestNormalizationAndSingleSender:
     def test_larger_network_has_lower_average_capacity(self):
         assert single_sender_average(120.0, 3.0, NOISE) < single_sender_average(20.0, 3.0, NOISE)
 
+    def test_normalization_capacity_is_memoized(self):
+        from repro.core.averaging import _normalization_capacity_cached
+
+        before = _normalization_capacity_cached.cache_info()
+        first = normalization_capacity(3.3, NOISE, rmax=21.0)
+        second = normalization_capacity(3.3, NOISE, rmax=21.0)
+        after = _normalization_capacity_cached.cache_info()
+        assert first == second
+        # The repeated call is served from the cache (hits grew, misses grew
+        # by at most the one cold evaluation).
+        assert after.hits >= before.hits + 1
+        assert after.misses <= before.misses + 1
+        # Integer-typed arguments share the float entry.
+        assert normalization_capacity(3.3, NOISE, rmax=21) == first
+
 
 class TestThroughputCurves:
     def test_curve_structure_and_monotonicity(self):

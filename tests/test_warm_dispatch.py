@@ -1,0 +1,136 @@
+"""Warm-pool dispatch: warm-state reuse and chunked/grouped batch submission.
+
+The invariant under test everywhere here: warm pools and chunked dispatch
+change wall-clock only.  Results, per-flow stats, and cache keys must be
+byte-identical with and without them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runner.batch import BatchRunner, BatchTask
+from repro.scenarios import Scenario, scenario_group_key, scenario_task
+from repro.scenarios.execute import _warm_cache, run_scenario
+
+
+def _scenario(**overrides) -> Scenario:
+    base = dict(
+        name="warm",
+        topology="clustered",
+        n_nodes=12,
+        extent_m=200.0,
+        seed=5,
+        sigma_db=6.0,
+        cca_noise_db=2.0,
+        duration_s=0.05,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestWarmState:
+    def test_warm_key_groups_by_topology_and_propagation(self):
+        a = _scenario()
+        assert a.warm_key() == _scenario(cca_noise_db=0.0, duration_s=0.1).warm_key()
+        assert a.warm_key() == _scenario(mac="tdma", traffic="poisson").warm_key()
+        assert a.warm_key() != _scenario(seed=6).warm_key()
+        assert a.warm_key() != _scenario(sigma_db=0.0).warm_key()
+        assert a.warm_key() != _scenario(n_nodes=14).warm_key()
+
+    def test_warm_state_matches_finalisation(self):
+        scenario = _scenario()
+        placement, rx_dbm, shadowing = scenario.compute_warm_state()
+        net, _ = scenario.build_network()
+        net.medium.finalize()
+        assert np.array_equal(rx_dbm, net.medium._rx_dbm_matrix)
+        assert list(placement.positions) == net.medium.node_ids
+        # The warm shadowing pairs are exactly what the cold channel drew.
+        assert shadowing == net.medium.channel._pair_shadowing_db
+
+    def test_warm_network_answers_per_pair_queries_like_cold(self):
+        """Oracle SNR / link-budget paths must not diverge under warm builds."""
+        scenario = _scenario()
+        cold_net, placement = scenario.build_network()
+        warm_net, _ = scenario.build_network(warm=scenario.compute_warm_state())
+        cold_net.medium.finalize()
+        warm_net.medium.finalize()
+        flows = list(placement.flows)
+        assert flows
+        for src, dst in flows:
+            assert warm_net.link_snr_db(src, dst) == cold_net.link_snr_db(src, dst)
+        # Per-pair channel queries (the lazily-drawn path) agree too, because
+        # priming installs the shadowing cache alongside the matrix.
+        a, b = flows[0]
+        assert warm_net.medium.channel.shadowing_db(a, b) == (
+            cold_net.medium.channel.shadowing_db(a, b)
+        )
+
+    def test_warm_run_is_bit_identical_to_cold(self):
+        scenario = _scenario()
+        cold = scenario.run()
+        warm = scenario.run(warm=scenario.compute_warm_state())
+        assert warm == cold
+
+    def test_run_scenario_uses_and_reuses_worker_cache(self):
+        scenario = _scenario()
+        _warm_cache.clear()
+        first = run_scenario(**scenario.as_config())
+        assert len(_warm_cache) == 1
+        second = run_scenario(**scenario.as_config())
+        assert len(_warm_cache) == 1
+        assert first == second == scenario.run()
+
+    def test_stale_prime_falls_back_to_fresh_computation(self):
+        scenario = _scenario()
+        # A bare (placement, matrix) pair is the documented compat form.
+        placement, rx_dbm, _shadowing = scenario.compute_warm_state()
+        net, _ = scenario.build_network(warm=(placement, rx_dbm))
+        # Poison the primed state with the wrong ids: finalisation must
+        # recompute rather than use a mismatched matrix.
+        net.medium._primed_ids = ("bogus",)
+        net.medium.finalize()
+        assert np.array_equal(net.medium._rx_dbm_matrix, rx_dbm)
+
+
+#: Worker-importable task helper (spawn-safe; see repro/runner/_testing.py).
+DOUBLE_TASK = "repro.runner._testing.maybe_fail"
+
+
+class TestChunkedGroupedDispatch:
+    def test_group_key_orders_scenario_tasks(self):
+        tasks = [
+            scenario_task(_scenario(seed=seed, cca_noise_db=noise))
+            for noise in (2.0, 0.0)
+            for seed in (9, 5)
+        ]
+        keys = [scenario_group_key(t) for t in tasks]
+        ordered = sorted(range(len(tasks)), key=keys.__getitem__)
+        # Sorting groups the two seed-5 tasks together and the two seed-9
+        # tasks together regardless of their interleaved submission order.
+        seeds_in_order = [tasks[i].config["seed"] for i in ordered]
+        assert seeds_in_order in ([5, 5, 9, 9], [9, 9, 5, 5])
+
+    def test_group_key_passes_non_scenario_tasks_through(self):
+        task = BatchTask(fn=DOUBLE_TASK, config={"value": 1})
+        assert scenario_group_key(task) == ()
+
+    def test_chunked_grouped_run_preserves_result_order(self):
+        tasks = [
+            BatchTask(fn=DOUBLE_TASK, config={"value": i}) for i in range(10)
+        ]
+        runner = BatchRunner(workers=2, chunksize=3, group_key=lambda t: -t.config["value"])
+        outcome = runner.run(tasks)
+        assert outcome.results == [2 * i for i in range(10)]
+        assert outcome.report.executed == 10
+
+    def test_chunksize_validation(self):
+        with pytest.raises(ValueError):
+            BatchRunner(chunksize=0)
+
+    def test_effective_chunksize_scales_with_batch(self):
+        runner = BatchRunner(workers=4)
+        assert runner._effective_chunksize(8) == 1
+        assert runner._effective_chunksize(160) == 10
+        assert BatchRunner(workers=4, chunksize=7)._effective_chunksize(1000) == 7
