@@ -13,12 +13,21 @@ The package is organised as:
 * :mod:`repro.testbed`     -- synthetic indoor testbed and the Section 4/5
   experiment protocols.
 * :mod:`repro.experiments` -- one harness per paper table/figure.
+* :mod:`repro.scenarios` / :mod:`repro.runner` -- declarative whole-network
+  scenarios and the parallel cached batch runner underneath them.
+* :mod:`repro.results`     -- the typed columnar :class:`ResultSet` that
+  scenario runs produce and sweeps aggregate.
+* :mod:`repro.api`         -- the fluent :class:`Study` sweep facade plus
+  the topology/MAC/traffic extension registries.
 
 Typical entry points::
 
     from repro.core import Scenario, average_policies
     averages = average_policies(Scenario(rmax=40, d=55), d_threshold=55)
     print(averages.cs_efficiency)
+
+    from repro.api import Study
+    results = Study(topology="scale_free", n_nodes=50).seeds(5).run().results()
 """
 
 from . import constants, units

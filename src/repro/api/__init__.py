@@ -1,0 +1,29 @@
+"""The high-level sweep API: fluent studies, columnar results, registries.
+
+This is the front door for running the reproduction at scale::
+
+    from repro.api import Study
+
+    results = (
+        Study(topology="scale_free", n_nodes=50)
+        .sweep(cca_threshold_dbm=[-85.0, -82.0, -75.0])
+        .seeds(5)
+        .run(workers=8)
+        .results()       # one typed columnar ResultSet for the whole sweep
+    )
+
+* :class:`Study` / :class:`StudyResult` -- declarative sweeps over scenario
+  grids (or generic dotted-path tasks) with caching, worker pools, and
+  warm-group dispatch handled behind the facade.
+* :class:`ResultSet` -- the typed columnar result container (re-exported
+  from :mod:`repro.results`).
+* :mod:`repro.api.registry` -- the string registries (topologies, MACs,
+  traffic models) through which new workloads plug in without touching
+  :class:`~repro.scenarios.Scenario` internals.
+"""
+
+from ..results import ResultSet
+from . import registry
+from .study import Study, StudyResult, placement_seed
+
+__all__ = ["ResultSet", "Study", "StudyResult", "placement_seed", "registry"]

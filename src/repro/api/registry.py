@@ -1,0 +1,26 @@
+"""Public face of the extension registries.
+
+Importing this module guarantees the builtin entries are registered (the
+scenario import pulls in the topology, traffic, and MAC builtins), so
+``repro.api.registry.MACS.names()`` is always fully populated.
+
+Plug in a new workload without touching ``Scenario`` internals::
+
+    from repro.api import registry
+
+    @registry.TOPOLOGIES.register("ring")
+    def ring(n_nodes, extent, rng, **params): ...
+
+    @registry.TRAFFIC_MODELS.register("bursty")
+    def bursty(scenario, net, destination, **params): ...
+
+    @registry.MACS.register("aloha")
+    def aloha(network, node_id, radio, rate_selector, rng, **params): ...
+
+    Study(topology="ring", traffic="bursty", mac="aloha").run()
+"""
+
+from .. import scenarios as _scenarios  # noqa: F401 -- registers the builtins
+from ..registry import MACS, Registry, TOPOLOGIES, TRAFFIC_MODELS
+
+__all__ = ["Registry", "TOPOLOGIES", "MACS", "TRAFFIC_MODELS"]

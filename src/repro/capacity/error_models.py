@@ -101,10 +101,61 @@ def coded_ber(snr_db: ArrayLike, rate: RateInfo) -> ArrayLike:
     return raw_ber(np.asarray(snr_db, dtype=float) + gain, rate)
 
 
+def _packet_error_rate_scalar(snr_db: float, rate: RateInfo, payload_bytes: int) -> float:
+    """Scalar fast path: no array coercion, ``np.clip``, or ``errstate``.
+
+    Bit-identical to the vectorized path on the same input (pinned by
+    tests/test_capacity_rates_errors.py): the transcendental steps that
+    numpy evaluates with its own kernels (``power``, ``exp``, ``log1p``,
+    ``erfc``) stay numpy/scipy scalar calls -- ``math``'s libm versions can
+    differ in the last ulp -- while the pure-IEEE arithmetic (multiply,
+    divide, ``sqrt``, min/max) runs as plain Python float ops.  The packet
+    simulator calls this once per decoded frame, which is why the array
+    machinery overhead was worth removing (ROADMAP open item).
+    """
+    bits_per_symbol = _MODULATION_BITS.get(rate.modulation)
+    if bits_per_symbol is None:
+        raise KeyError(f"unknown modulation {rate.modulation!r}")
+    if snr_db != snr_db:  # NaN propagates exactly as through the array path
+        return float("nan")
+    gain = _CODING_GAIN_DB.get(rate.code_rate, 3.0)
+    snr_linear = float(np.power(10.0, (snr_db + gain) / 10.0)) / bits_per_symbol
+    if snr_linear < 0.0:
+        snr_linear = 0.0
+    if bits_per_symbol <= 2:
+        ber = 0.5 * float(erfc(math.sqrt(2.0 * snr_linear) / math.sqrt(2.0)))
+    elif rate.modulation == "CCK":
+        ber = 0.5 * float(erfc(math.sqrt(2.0 * 2.0 * snr_linear) / math.sqrt(2.0)))
+    else:
+        m = 2**bits_per_symbol
+        k = math.log2(m)
+        arg = math.sqrt(3.0 * k * snr_linear / (m - 1.0))
+        ber = (
+            (4.0 / k)
+            * (1.0 - 1.0 / math.sqrt(m))
+            * (0.5 * float(erfc(arg / math.sqrt(2.0))))
+        )
+    if ber > 1.0:
+        ber = 1.0
+    per = 1.0 - float(np.exp(8 * payload_bytes * float(np.log1p(-min(ber, 1.0 - 1e-15)))))
+    if per < 0.0:
+        return 0.0
+    if per > 1.0:
+        return 1.0
+    return per
+
+
 def packet_error_rate(snr_db: ArrayLike, rate: RateInfo, payload_bytes: int = 1400) -> ArrayLike:
-    """Packet error rate assuming independent bit errors after decoding."""
+    """Packet error rate assuming independent bit errors after decoding.
+
+    Python/numpy float scalars take a dedicated fast path (see
+    :func:`_packet_error_rate_scalar`) that returns the bit-identical value
+    without any array machinery; array inputs vectorize as before.
+    """
     if payload_bytes <= 0:
         raise ValueError("payload size must be positive")
+    if isinstance(snr_db, (int, float)) and not isinstance(snr_db, bool):
+        return _packet_error_rate_scalar(float(snr_db), rate, payload_bytes)
     ber = np.asarray(coded_ber(snr_db, rate), dtype=float)
     ber = np.clip(ber, 0.0, 1.0)
     bits = 8 * payload_bytes

@@ -17,7 +17,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..runner import BatchReport, BatchRunner, BatchTask, ResultCache
+from ..api import Study
+from ..runner import BatchReport, ResultCache
 
 __all__ = ["ExperimentResult", "format_table", "run_subtasks", "default_cache_dir"]
 
@@ -45,12 +46,18 @@ def run_subtasks(
     ``workers <= 1`` runs in-process.  Returns the ordered results plus the
     execution report, which callers typically surface via
     ``result.add_note(report.summary())``.
+
+    This is a thin veneer over :class:`repro.api.Study` (an explicit-config
+    task study); experiments that sweep an axis grid use the fluent form
+    directly.
     """
-    tasks = [BatchTask(fn=fn, config=dict(config)) for config in configs]
-    cache = ResultCache(cache_dir) if cache_dir else None
-    runner = BatchRunner(workers=workers, cache=cache, force=force)
-    outcome = runner.run(tasks)
-    return outcome.results, outcome.report
+    run = (
+        Study.of_configs(fn, configs)
+        .cache(ResultCache(cache_dir) if cache_dir else None)
+        .force(force)
+        .run(workers=workers)
+    )
+    return run.raw, run.report
 
 
 @dataclass

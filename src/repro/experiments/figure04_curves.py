@@ -6,10 +6,12 @@ concurrency (rising from near zero to twice multiplexing), and the optimal
 policy (their upper envelope plus the joint-decision gap), normalised to the
 Rmax = 20, D = infinity throughput as in the paper.
 
-Each Rmax curve is an independent unit of work, so the experiment runs its
-per-curve :func:`curve_task` through :mod:`repro.runner` -- in parallel and
-with disk caching when ``workers`` / ``cache_dir`` are set, in-process by
-default.  The numbers are identical either way.
+Each Rmax curve is an independent unit of work, so the experiment fans its
+per-curve :func:`curve_task` out through a :class:`repro.api.Study` sweep
+over the Rmax axis -- in parallel and with disk caching when ``workers`` /
+``cache_dir`` are set, in-process by default.  The numbers are identical
+either way (pinned by tests/test_experiments_through_runner.py), and the
+task configs hash to the same cache keys the pre-Study harness wrote.
 """
 
 from __future__ import annotations
@@ -18,10 +20,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..api import Study
 from ..constants import DEFAULT_NOISE_RATIO, DEFAULT_PATH_LOSS_EXPONENT
 from ..core.averaging import throughput_curves
 from ..core.thresholds import optimal_threshold
-from .base import ExperimentResult, run_subtasks
+from ..runner import ResultCache
+from .base import ExperimentResult
 
 __all__ = ["run", "curve_task"]
 
@@ -60,13 +64,13 @@ def run(
     if d_values is None:
         d_values = np.linspace(5.0, 250.0, 50)
     d_list = [float(d) for d in d_values]
-    configs = [
-        {"rmax": float(rmax), "d_values": d_list, "alpha": alpha, "noise": noise}
-        for rmax in rmax_values
-    ]
-    task_results, report = run_subtasks(
-        CURVE_TASK_PATH, configs, workers=workers, cache_dir=cache_dir
+    study_run = (
+        Study.tasks(CURVE_TASK_PATH, {"d_values": d_list, "alpha": alpha, "noise": noise})
+        .sweep(rmax=[float(rmax) for rmax in rmax_values])
+        .cache(ResultCache(cache_dir) if cache_dir else None)
+        .run(workers=workers)
     )
+    task_results, report = study_run.raw, study_run.report
 
     result = ExperimentResult(EXPERIMENT_ID, "Average MAC throughput vs D (sigma = 0)")
     curves: Dict[str, Dict[str, list]] = {}

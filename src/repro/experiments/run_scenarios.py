@@ -1,10 +1,12 @@
-"""The ``run-scenarios`` CLI: sweep scenario grids through the batch runner.
+"""The ``run-scenarios`` CLI: sweep scenario grids through the Study facade.
 
-Expands a parameter grid (topology x nodes x extent x sigma x CCA threshold
-x seed replicate) into :class:`repro.scenarios.Scenario` instances, executes
-them across a multiprocessing pool with per-task seeding, caches every result
-on disk keyed by the scenario config hash (a repeated invocation is a pure
-cache hit), and aggregates into an :class:`ExperimentResult`.
+Builds a :class:`repro.api.Study` over the requested parameter grid
+(topology x nodes x extent x sigma x CCA threshold x seed replicate), runs
+it across a multiprocessing pool with placement-stable per-replicate
+seeding, caches every result on disk keyed by the scenario config hash (a
+repeated invocation is a pure cache hit; the keys match those the
+pre-Study CLI wrote), and aggregates the sweep's columnar
+:class:`~repro.results.ResultSet` into an :class:`ExperimentResult`.
 
 Examples::
 
@@ -17,20 +19,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from ..runner import BatchRunner, ResultCache, config_hash, expand_grid
-from ..scenarios import (
-    TOPOLOGIES,
-    Scenario,
-    aggregate_metrics,
-    scenario_group_key,
-    scenario_task,
-)
+from ..api import Study
+from ..runner import ResultCache
+from ..scenarios import TOPOLOGIES, Scenario
 from ..simulation.medium import DEFAULT_DETECTABILITY_MARGIN_DB
 from .base import ExperimentResult, default_cache_dir
 
-__all__ = ["main", "build_scenarios"]
+__all__ = ["main", "build_study", "build_scenarios"]
 
 
 def _parse_optional_float(value: str) -> Optional[float]:
@@ -94,8 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def build_scenarios(args: argparse.Namespace) -> List[Scenario]:
-    """Expand the CLI arguments into concrete scenario specs."""
+def _scenario_name(config: Dict[str, Any], replicate: Optional[int]) -> str:
+    cca = config["cca_threshold_dbm"]
+    return (
+        f"{config['topology']}-n{config['n_nodes']}"
+        f"-e{config['extent_m']:g}-s{config['sigma_db']:g}"
+        f"-c{'off' if cca is None else format(cca, 'g')}-r{replicate}"
+    )
+
+
+def build_study(args: argparse.Namespace) -> Study:
+    """The CLI arguments as a fluent :class:`~repro.api.Study`."""
     topologies: List[str] = []
     for chunk in args.topology or ["uniform_disc"]:
         topologies.extend(name.strip() for name in chunk.split(",") if name.strip())
@@ -106,48 +112,35 @@ def build_scenarios(args: argparse.Namespace) -> List[Scenario]:
     if args.seeds < 1:
         raise SystemExit("--seeds must be at least 1")
 
-    grid = {
-        "topology": topologies,
-        "n_nodes": args.nodes or [10],
-        "extent_m": args.extent or [120.0],
-        "sigma_db": args.sigma or [0.0],
-        "cca_threshold_dbm": args.cca if args.cca is not None else [-82.0],
-        "replicate": list(range(args.seeds)),
-    }
-    base = {
-        "mac": args.mac,
-        "traffic": args.traffic,
-        "offered_load_pps": args.load,
-        "rate_mbps": args.rate,
-        "duration_s": args.duration,
-        "detectability_margin_db": args.prune_margin,
-        "cca_noise_db": args.cca_noise,
-    }
+    base = Scenario(
+        mac=args.mac,
+        traffic=args.traffic,
+        offered_load_pps=args.load,
+        rate_mbps=args.rate,
+        duration_s=args.duration,
+        detectability_margin_db=args.prune_margin,
+        cca_noise_db=args.cca_noise,
+    )
+    return (
+        Study(base)
+        .sweep(
+            topology=topologies,
+            n_nodes=args.nodes or [10],
+            extent_m=args.extent or [120.0],
+            sigma_db=args.sigma or [0.0],
+            cca_threshold_dbm=args.cca if args.cca is not None else [-82.0],
+        )
+        .seeds(args.seeds, base_seed=args.base_seed)
+        .named(_scenario_name)
+    )
+
+
+def build_scenarios(args: argparse.Namespace) -> List[Scenario]:
+    """Expand the CLI arguments into validated concrete scenario specs."""
     scenarios: List[Scenario] = []
-    for config in expand_grid(base, grid):
-        replicate = config.pop("replicate")
-        # Seed from the placement-determining axes only, so (a) a scenario
-        # keeps its seed and cache entry when the sweep grows around it, and
-        # (b) sweeps along channel/MAC axes (sigma, CCA, rate, mac) compare
-        # the *same* node placement rather than re-rolling the topology.
-        config["seed"] = int(
-            config_hash({
-                "topology": config["topology"],
-                "n_nodes": config["n_nodes"],
-                "extent_m": config["extent_m"],
-                "replicate": replicate,
-                "base_seed": args.base_seed,
-            })[:8],
-            16,
-        )
-        cca = config["cca_threshold_dbm"]
-        config["name"] = (
-            f"{config['topology']}-n{config['n_nodes']}"
-            f"-e{config['extent_m']:g}-s{config['sigma_db']:g}"
-            f"-c{'off' if cca is None else format(cca, 'g')}-r{replicate}"
-        )
+    for config in build_study(args).configs():
         try:
-            scenario = Scenario(**config)
+            scenario = Scenario.from_config(config)
             scenario.placement()  # catch generator-level errors (e.g. too few nodes) now
         except (ValueError, KeyError) as exc:
             raise SystemExit(f"invalid scenario {config['name']}: {exc}") from exc
@@ -162,24 +155,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    # Group grid points by their (topology, propagation) warm fingerprint so
-    # warm worker pools rebuild the expensive network state once per group.
-    runner = BatchRunner(
-        workers=args.workers, cache=cache, force=args.force, group_key=scenario_group_key
-    )
-    outcome = runner.run(
-        [scenario_task(s) for s in scenarios],
-        progress=lambda message: print(message, file=sys.stderr),
+    # Warm-group dispatch comes with the Study facade: grid points sharing a
+    # (topology, propagation) fingerprint travel in the same chunks so warm
+    # worker pools rebuild the expensive network state once per group.
+    run = (
+        Study.of(scenarios)
+        .cache(cache)
+        .force(args.force)
+        .run(
+            workers=args.workers,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
     )
 
     result = ExperimentResult("run-scenarios", "Scenario sweep")
-    result.data["sweep"] = aggregate_metrics(outcome.results)
+    result.data["sweep"] = run.aggregate()
     if args.verbose:
         result.data["scenarios"] = {
             r["name"]: f"{r['total_pps']:.0f} pkt/s over {r['n_flows']} flows"
-            for r in outcome.results
+            for r in run.summaries()
         }
-    result.add_note(f"runner: {outcome.report.summary()}")
+    result.add_note(f"runner: {run.report.summary()}")
     if cache is not None:
         result.add_note(f"cache: {(args.cache_dir or default_cache_dir())!s}")
     print(result.summary())

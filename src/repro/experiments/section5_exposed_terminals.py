@@ -8,11 +8,13 @@ This harness reruns that comparison on the synthetic testbed's short-range
 pair combinations.
 
 Each pair combination's measurement protocol is independent, so the campaign
-runs one :func:`pair_task` per combination through :mod:`repro.runner` --
-across a worker pool and with disk caching when ``workers`` / ``cache_dir``
-are set.  Workers rebuild the (deterministic) default layout and pair
-selection from the seed, so a task config is a handful of scalars; passing a
-custom ``layout`` keeps the classic in-process path instead.
+fans one :func:`pair_task` per combination out through a
+:class:`repro.api.Study` sweep over the combination index -- across a worker
+pool and with disk caching when ``workers`` / ``cache_dir`` are set (task
+configs hash to the same cache keys the pre-Study harness wrote).  Workers
+rebuild the (deterministic) default layout and pair selection from the seed,
+so a task config is a handful of scalars; passing a custom ``layout`` keeps
+the classic in-process path instead.
 """
 
 from __future__ import annotations
@@ -21,11 +23,13 @@ from dataclasses import asdict
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api import Study
+from ..runner import ResultCache
 from ..testbed.exposed import exposed_terminal_study
 from ..testbed.experiment import PairExperimentResult, RateRunDetail, TestbedExperiment
 from ..testbed.layout import TestbedLayout, generate_office_layout
 from ..testbed.pairs import CompetingPairs, select_competing_pairs
-from .base import ExperimentResult, run_subtasks
+from .base import ExperimentResult
 
 __all__ = ["run", "pair_task", "PAPER_SECTION5"]
 
@@ -78,19 +82,21 @@ def _campaign_results(
 ) -> Tuple[Tuple[PairExperimentResult, ...], str]:
     """Run the default campaign through the batch runner and reassemble."""
     layout, combos = _default_selection(n_combinations, seed)
-    configs = [
-        {
-            "combo_index": index,
-            "n_combinations": n_combinations,
-            "run_duration_s": run_duration_s,
-            "rates_mbps": [float(r) for r in rates_mbps],
-            "seed": seed,
-        }
-        for index in range(len(combos))
-    ]
-    task_results, report = run_subtasks(
-        PAIR_TASK_PATH, configs, workers=workers, cache_dir=cache_dir
+    study_run = (
+        Study.tasks(
+            PAIR_TASK_PATH,
+            {
+                "n_combinations": n_combinations,
+                "run_duration_s": run_duration_s,
+                "rates_mbps": [float(r) for r in rates_mbps],
+                "seed": seed,
+            },
+        )
+        .sweep(combo_index=list(range(len(combos))))
+        .cache(ResultCache(cache_dir) if cache_dir else None)
+        .run(workers=workers)
     )
+    task_results, report = study_run.raw, study_run.report
     experiment = TestbedExperiment(
         layout, rates_mbps=tuple(rates_mbps), run_duration_s=run_duration_s, seed=seed
     )

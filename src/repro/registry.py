@@ -1,0 +1,109 @@
+"""String-keyed extension registries for topologies, MACs, and traffic models.
+
+The simulator grew three hard-coded dispatch points: topology generators
+(:mod:`repro.scenarios.topologies`), MAC construction
+(:meth:`repro.simulation.network.WirelessNetwork.add_node`), and traffic
+sources (:meth:`repro.scenarios.spec.Scenario.build_network`).  This module
+gives all three the same plugin surface: a :class:`Registry` maps a string
+name to a factory, new entries plug in with ``@REGISTRY.register("name")``,
+and :class:`~repro.scenarios.spec.Scenario` validates its ``topology`` /
+``mac`` / ``traffic`` fields against the registries instead of frozen
+literals -- so a new workload never has to touch ``Scenario`` internals.
+
+The instances live here (a leaf module with no intra-package imports) so the
+scenario, simulation, and API layers can all share them without cycles;
+:mod:`repro.api.registry` re-exports them as the public face.
+
+Factory signatures:
+
+* **topology** -- ``fn(n_nodes, extent, rng, **params) -> Placement``
+  (see :mod:`repro.scenarios.topologies`).
+* **mac** -- ``fn(network, node_id, radio, rate_selector, rng, **params)
+  -> MacBase`` (see :mod:`repro.simulation.network`).
+* **traffic** -- ``fn(scenario, network, destination, **params)
+  -> TrafficSource | None`` (see :mod:`repro.scenarios.spec`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Optional
+
+__all__ = ["Registry", "TOPOLOGIES", "MACS", "TRAFFIC_MODELS"]
+
+
+class Registry:
+    """An ordered string -> factory mapping with decorator registration.
+
+    Behaves like a read-mostly dict (``in``, ``len``, iteration over names,
+    ``registry[name]``) so existing call sites that treated the topology
+    table as a plain dict keep working unchanged.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Callable[..., Any]] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self, name: str, factory: Optional[Callable[..., Any]] = None
+    ) -> Callable[..., Any]:
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        ``@registry.register("name")`` and ``registry.register("name", fn)``
+        are equivalent.  Re-registering a taken name raises: silently
+        replacing a builtin would change every sweep that references it.
+        """
+        def _add(fn: Callable[..., Any]) -> Callable[..., Any]:
+            if not callable(fn):
+                raise TypeError(f"{self.kind} {name!r} factory must be callable")
+            if name in self._entries:
+                raise ValueError(f"{self.kind} {name!r} already registered")
+            self._entries[name] = fn
+            return fn
+
+        if factory is None:
+            return _add
+        return _add(factory)
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (mainly for tests tearing down plugins)."""
+        self._entries.pop(name, None)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The factory for ``name``; raises ``KeyError`` naming the options."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries))
+            raise KeyError(f"unknown {self.kind} {name!r} (known: {known})") from None
+
+    def names(self) -> tuple:
+        return tuple(self._entries)
+
+    def __getitem__(self, name: str) -> Callable[..., Any]:
+        return self.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {sorted(self._entries)})"
+
+
+#: Topology generators (builtins registered by :mod:`repro.scenarios.topologies`).
+TOPOLOGIES = Registry("topology")
+
+#: MAC factories (builtins registered by :mod:`repro.simulation.network`).
+MACS = Registry("mac")
+
+#: Traffic-source factories (builtins registered by :mod:`repro.scenarios.spec`).
+TRAFFIC_MODELS = Registry("traffic model")

@@ -1,0 +1,519 @@
+"""Typed columnar results: the native currency of scenario sweeps.
+
+A :class:`ResultSet` is a struct-of-numpy-arrays over per-flow records --
+src/dst (categorically encoded against a shared node-name table), offered and
+delivered throughput, packet counts, loss, and a reserved delay column --
+plus a scenario index: one JSON-able metadata dict per scenario (name,
+topology, seed, summary scalars, events processed) that every flow row
+points into via ``scenario_idx``.
+
+It replaces the per-flow dict-of-dicts that :meth:`repro.scenarios.Scenario.run`
+used to return.  Converters keep every old caller working:
+
+* :meth:`from_flow_dicts` lifts legacy result dicts (``{"name": ...,
+  "per_flow_pps": {"a->b": pps, ...}, ...}``) into a ResultSet;
+* :meth:`to_flow_dicts` emits exactly that legacy encoding back (the
+  documented shim for dict consumers and for old JSON cache entries);
+* single-scenario ResultSets answer ``rs["total_pps"]`` / ``rs["per_flow_pps"]``
+  like the old dict did, so existing subscript consumers run unchanged.
+
+On disk a ResultSet is one compressed ``.npz`` (columns + a JSON manifest
+embedded as UTF-8 bytes) -- see :meth:`save` / :meth:`load` and the
+:class:`repro.runner.cache.ResultCache` integration, which stores scenario
+results in this binary form with a JSON manifest entry next to it.  Columnar
+storage is what shrinks both cache files and worker->parent pipe traffic on
+large sweeps (the arrays pickle as flat buffers).
+
+Operations (:meth:`concat`, :meth:`filter`, :meth:`group_by`,
+:meth:`scenario_column`) are vectorized over the columns, so sweep-level
+aggregation is a handful of array reductions rather than a Python loop over
+nested dicts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["ResultSet", "FLOW_COLUMNS", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+#: Scenario-level scalar fields, in the legacy dict's key order.  ``None`` in
+#: a value marks fields the legacy encoding did not carry.
+_SCENARIO_FIELDS = (
+    "name", "topology", "n_nodes", "n_flows", "seed", "duration_s",
+    "total_pps", "mean_flow_pps", "min_flow_pps", "max_flow_pps",
+    "events_processed",
+)
+
+#: Float flow columns (NaN = not measured, e.g. converted legacy results).
+_FLOAT_COLUMNS = ("delivered_pps", "offered_pps", "loss_frac", "delay_s")
+
+#: Integer flow columns (-1 = not measured).
+_INT_COLUMNS = ("delivered_packets", "offered_packets", "sent_packets")
+
+#: Public flow-column names, including the decoded string columns.
+FLOW_COLUMNS = ("src", "dst", "scenario_idx") + _FLOAT_COLUMNS + _INT_COLUMNS
+
+_LEGACY_SEPARATOR = "->"
+
+
+def _empty_columns(n: int) -> Dict[str, np.ndarray]:
+    columns: Dict[str, np.ndarray] = {}
+    for name in _FLOAT_COLUMNS:
+        columns[name] = np.full(n, np.nan, dtype=np.float64)
+    for name in _INT_COLUMNS:
+        columns[name] = np.full(n, -1, dtype=np.int64)
+    return columns
+
+
+class ResultSet:
+    """Columnar per-flow results for one or many scenarios.
+
+    Construct via :meth:`from_flow_dicts`, :meth:`from_flows`, or the
+    producers (:meth:`repro.scenarios.Scenario.run`,
+    :class:`repro.api.Study`); the raw ``__init__`` takes pre-built arrays.
+    """
+
+    __slots__ = (
+        "node_names", "src_code", "dst_code", "scenario_idx",
+        "delivered_pps", "offered_pps", "loss_frac", "delay_s",
+        "delivered_packets", "offered_packets", "sent_packets",
+        "scenarios",
+    )
+
+    def __init__(
+        self,
+        node_names: np.ndarray,
+        src_code: np.ndarray,
+        dst_code: np.ndarray,
+        scenario_idx: np.ndarray,
+        scenarios: Sequence[Dict[str, Any]],
+        **columns: np.ndarray,
+    ) -> None:
+        self.node_names = np.asarray(node_names)
+        self.src_code = np.asarray(src_code, dtype=np.int32)
+        self.dst_code = np.asarray(dst_code, dtype=np.int32)
+        self.scenario_idx = np.asarray(scenario_idx, dtype=np.int32)
+        self.scenarios = list(scenarios)
+        n = len(self.src_code)
+        defaults = _empty_columns(n)
+        for name in _FLOAT_COLUMNS:
+            value = columns.pop(name, None)
+            array = defaults[name] if value is None else np.asarray(value, dtype=np.float64)
+            setattr(self, name, array)
+        for name in _INT_COLUMNS:
+            value = columns.pop(name, None)
+            array = defaults[name] if value is None else np.asarray(value, dtype=np.int64)
+            setattr(self, name, array)
+        if columns:
+            raise TypeError(f"unknown flow columns: {sorted(columns)}")
+        for name in ("dst_code", "scenario_idx", *_FLOAT_COLUMNS, *_INT_COLUMNS):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name!r} has {len(getattr(self, name))} rows, expected {n}")
+        if n and self.scenario_idx.max(initial=-1) >= len(self.scenarios):
+            raise ValueError("scenario_idx points past the scenario index")
+
+    # -- basic shape -----------------------------------------------------------
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.src_code)
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.scenarios)
+
+    def __len__(self) -> int:
+        return self.n_flows
+
+    @property
+    def src(self) -> np.ndarray:
+        """Decoded sender names, one per flow row."""
+        return self.node_names[self.src_code] if self.n_flows else np.asarray([], dtype=str)
+
+    @property
+    def dst(self) -> np.ndarray:
+        """Decoded receiver names, one per flow row."""
+        return self.node_names[self.dst_code] if self.n_flows else np.asarray([], dtype=str)
+
+    def column(self, name: str) -> np.ndarray:
+        """A flow column by name (``src``/``dst`` decode to strings)."""
+        if name == "src":
+            return self.src
+        if name == "dst":
+            return self.dst
+        if name in ("scenario_idx",) + _FLOAT_COLUMNS + _INT_COLUMNS:
+            return getattr(self, name)
+        raise KeyError(f"unknown flow column {name!r} (known: {', '.join(FLOW_COLUMNS)})")
+
+    def scenario_column(self, field: str) -> np.ndarray:
+        """A scenario-index field as an array, one entry per scenario."""
+        return np.asarray([entry.get(field) for entry in self.scenarios])
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "ResultSet":
+        return cls(
+            node_names=np.asarray([], dtype="U1"),
+            src_code=np.asarray([], dtype=np.int32),
+            dst_code=np.asarray([], dtype=np.int32),
+            scenario_idx=np.asarray([], dtype=np.int32),
+            scenarios=[],
+        )
+
+    @classmethod
+    def from_flows(
+        cls,
+        scenario_meta: Mapping[str, Any],
+        flows: Sequence[Tuple[Any, Any]],
+        **columns: Sequence[float],
+    ) -> "ResultSet":
+        """A single-scenario ResultSet from (src, dst) pairs plus columns."""
+        names: Dict[str, int] = {}
+        src_code = np.empty(len(flows), dtype=np.int32)
+        dst_code = np.empty(len(flows), dtype=np.int32)
+        for row, (src, dst) in enumerate(flows):
+            src_code[row] = names.setdefault(str(src), len(names))
+            dst_code[row] = names.setdefault(str(dst), len(names))
+        return cls(
+            node_names=np.asarray(list(names), dtype=str),
+            src_code=src_code,
+            dst_code=dst_code,
+            scenario_idx=np.zeros(len(flows), dtype=np.int32),
+            scenarios=[dict(scenario_meta)],
+            **columns,
+        )
+
+    @classmethod
+    def from_flow_dicts(
+        cls, results: Union[Mapping[str, Any], Sequence[Any]]
+    ) -> "ResultSet":
+        """Lift legacy per-flow result dict(s) into a ResultSet.
+
+        Accepts one legacy dict or a sequence mixing legacy dicts and
+        ResultSets (the shape a cache-backed sweep produces when some
+        entries predate the columnar format).  Only the legacy fields are
+        recoverable: the packet-count/offered/loss/delay columns of
+        converted rows hold their "not measured" sentinels.
+        """
+        if isinstance(results, Mapping):
+            results = [results]
+        parts: List[ResultSet] = []
+        for result in results:
+            if isinstance(result, ResultSet):
+                parts.append(result)
+                continue
+            meta = {
+                field: result[field] for field in _SCENARIO_FIELDS if field in result
+            }
+            per_flow = result.get("per_flow_pps", {})
+            flows: List[Tuple[str, str]] = []
+            pps: List[float] = []
+            for key, value in per_flow.items():
+                src, sep, dst = key.partition(_LEGACY_SEPARATOR)
+                if not sep:
+                    raise ValueError(f"per-flow key {key!r} is not 'src{_LEGACY_SEPARATOR}dst'")
+                flows.append((src, dst))
+                pps.append(float(value))
+            parts.append(cls.from_flows(meta, flows, delivered_pps=pps))
+        return cls.concat(parts)
+
+    @classmethod
+    def coerce(cls, results: Any) -> "ResultSet":
+        """Normalise a ResultSet, legacy dict, or mixed sequence to a ResultSet."""
+        if isinstance(results, ResultSet):
+            return results
+        return cls.from_flow_dicts(results)
+
+    # -- legacy encoding -------------------------------------------------------
+
+    def _legacy_dict(
+        self, index: int, rows: np.ndarray, src: np.ndarray, dst: np.ndarray
+    ) -> Dict[str, Any]:
+        entry = self.scenarios[index]
+        legacy: Dict[str, Any] = {
+            field: entry[field] for field in _SCENARIO_FIELDS if field in entry
+        }
+        per_flow: Dict[str, float] = {}
+        for row in rows:
+            per_flow[f"{src[row]}{_LEGACY_SEPARATOR}{dst[row]}"] = float(
+                self.delivered_pps[row]
+            )
+        # per_flow_pps sits before events_processed in the historical order;
+        # dict equality ignores order, but keep the rendering familiar.
+        events = legacy.pop("events_processed", None)
+        legacy["per_flow_pps"] = per_flow
+        if events is not None:
+            legacy["events_processed"] = events
+        return legacy
+
+    def to_flow_dicts(self) -> List[Dict[str, Any]]:
+        """The legacy encoding: one ``Scenario.run``-style dict per scenario."""
+        by_scenario = self._rows_by_scenario()
+        src, dst = self.src, self.dst  # decode the name columns once
+        return [
+            self._legacy_dict(i, by_scenario[i], src, dst)
+            for i in range(self.n_scenarios)
+        ]
+
+    def to_flow_records(self) -> List[Dict[str, Any]]:
+        """Row-oriented records with every column (the JSON-able full schema)."""
+        src = self.src
+        dst = self.dst
+        records = []
+        for row in range(self.n_flows):
+            records.append({
+                "src": str(src[row]),
+                "dst": str(dst[row]),
+                "scenario_idx": int(self.scenario_idx[row]),
+                "delivered_pps": float(self.delivered_pps[row]),
+                "offered_pps": float(self.offered_pps[row]),
+                "loss_frac": float(self.loss_frac[row]),
+                "delay_s": float(self.delay_s[row]),
+                "delivered_packets": int(self.delivered_packets[row]),
+                "offered_packets": int(self.offered_packets[row]),
+                "sent_packets": int(self.sent_packets[row]),
+            })
+        return records
+
+    def _rows_by_scenario(self) -> List[np.ndarray]:
+        order = np.argsort(self.scenario_idx, kind="stable")
+        boundaries = np.searchsorted(
+            self.scenario_idx[order], np.arange(self.n_scenarios + 1)
+        )
+        return [
+            order[boundaries[i]:boundaries[i + 1]] for i in range(self.n_scenarios)
+        ]
+
+    # -- combinators -----------------------------------------------------------
+
+    @classmethod
+    def concat(cls, parts: Iterable["ResultSet"]) -> "ResultSet":
+        """Concatenate ResultSets: scenarios append, codes are remapped."""
+        parts = [part for part in parts if part is not None]
+        if not parts:
+            return cls.empty()
+        if len(parts) == 1:
+            return parts[0]
+        names: Dict[str, int] = {}
+        remapped_src: List[np.ndarray] = []
+        remapped_dst: List[np.ndarray] = []
+        shifted_idx: List[np.ndarray] = []
+        scenarios: List[Dict[str, Any]] = []
+        for part in parts:
+            mapping = np.empty(len(part.node_names), dtype=np.int32)
+            for code, name in enumerate(part.node_names):
+                mapping[code] = names.setdefault(str(name), len(names))
+            remapped_src.append(mapping[part.src_code] if part.n_flows else part.src_code)
+            remapped_dst.append(mapping[part.dst_code] if part.n_flows else part.dst_code)
+            shifted_idx.append(part.scenario_idx + len(scenarios))
+            scenarios.extend(part.scenarios)
+        columns = {
+            name: np.concatenate([getattr(part, name) for part in parts])
+            for name in _FLOAT_COLUMNS + _INT_COLUMNS
+        }
+        return cls(
+            node_names=np.asarray(list(names), dtype=str),
+            src_code=np.concatenate(remapped_src),
+            dst_code=np.concatenate(remapped_dst),
+            scenario_idx=np.concatenate(shifted_idx),
+            scenarios=scenarios,
+            **columns,
+        )
+
+    def filter(self, mask: np.ndarray, prune_scenarios: bool = False) -> "ResultSet":
+        """The flow rows selected by a boolean mask.
+
+        By default the scenario index is kept whole (rows are a view into
+        the same sweep); ``prune_scenarios=True`` drops scenarios left with
+        no rows and remaps ``scenario_idx``, which is what
+        :meth:`group_by` uses so per-group scenario reductions cover only
+        that group.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_flows,):
+            raise ValueError(f"mask must have shape ({self.n_flows},)")
+        scenario_idx = self.scenario_idx[mask]
+        scenarios = self.scenarios
+        if prune_scenarios:
+            kept = np.unique(scenario_idx)
+            scenarios = [self.scenarios[i] for i in kept.tolist()]
+            scenario_idx = np.searchsorted(kept, scenario_idx).astype(np.int32)
+        columns = {name: getattr(self, name)[mask] for name in _FLOAT_COLUMNS + _INT_COLUMNS}
+        return ResultSet(
+            node_names=self.node_names,
+            src_code=self.src_code[mask],
+            dst_code=self.dst_code[mask],
+            scenario_idx=scenario_idx,
+            scenarios=scenarios,
+            **columns,
+        )
+
+    def group_by(self, field: str) -> Dict[Any, "ResultSet"]:
+        """Split by a flow column or a scenario-index field.
+
+        Flow columns (``src``, ``dst``, ``scenario_idx``, ...) group rows
+        directly; scenario fields (``topology``, ``seed``, ...) group rows by
+        their owning scenario's value.  Keys appear in first-seen row order,
+        and each group's scenario index is pruned to the scenarios that
+        actually contribute rows.
+        """
+        try:
+            values = self.column(field)
+        except KeyError:
+            per_scenario = self.scenario_column(field)
+            values = per_scenario[self.scenario_idx] if self.n_flows else per_scenario[:0]
+        groups: Dict[Any, List[int]] = {}
+        for row, value in enumerate(values):
+            key = value.item() if isinstance(value, np.generic) else value
+            groups.setdefault(key, []).append(row)
+        out: Dict[Any, ResultSet] = {}
+        for key, rows in groups.items():
+            mask = np.zeros(self.n_flows, dtype=bool)
+            mask[rows] = True
+            out[key] = self.filter(mask, prune_scenarios=True)
+        return out
+
+    def split(self) -> List["ResultSet"]:
+        """One single-scenario ResultSet per scenario, in index order."""
+        out = []
+        for index, rows in enumerate(self._rows_by_scenario()):
+            mask = np.zeros(self.n_flows, dtype=bool)
+            mask[rows] = True
+            filtered = self.filter(mask)
+            out.append(ResultSet(
+                node_names=filtered.node_names,
+                src_code=filtered.src_code,
+                dst_code=filtered.dst_code,
+                scenario_idx=np.zeros(int(mask.sum()), dtype=np.int32),
+                scenarios=[self.scenarios[index]],
+                **{name: getattr(filtered, name) for name in _FLOAT_COLUMNS + _INT_COLUMNS},
+            ))
+        return out
+
+    # -- dict-compat shim ------------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        """Legacy subscript access.
+
+        Flow-column names return arrays.  Scenario-level keys (and the
+        reconstructed ``per_flow_pps`` mapping) answer like the old result
+        dict -- but only for single-scenario sets, where the old dict shape
+        is unambiguous.
+        """
+        if key in FLOW_COLUMNS:
+            return self.column(key)
+        if self.n_scenarios != 1:
+            raise KeyError(
+                f"{key!r}: scenario-level subscripting needs a single-scenario "
+                f"ResultSet (this one has {self.n_scenarios}); use .scenarios / "
+                f".to_flow_dicts() for sweeps"
+            )
+        if key == "per_flow_pps":
+            return self.to_flow_dicts()[0]["per_flow_pps"]
+        return self.scenarios[0][key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    # -- equality --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        if self.scenarios != other.scenarios:
+            return False
+        if self.n_flows != other.n_flows:
+            return False
+        if not (
+            np.array_equal(self.src, other.src)
+            and np.array_equal(self.dst, other.dst)
+            and np.array_equal(self.scenario_idx, other.scenario_idx)
+        ):
+            return False
+        for name in _FLOAT_COLUMNS:
+            if not np.array_equal(getattr(self, name), getattr(other, name), equal_nan=True):
+                return False
+        for name in _INT_COLUMNS:
+            if not np.array_equal(getattr(self, name), getattr(other, name)):
+                return False
+        return True
+
+    __hash__ = None  # mutable container semantics
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultSet(n_flows={self.n_flows}, n_scenarios={self.n_scenarios}, "
+            f"nodes={len(self.node_names)})"
+        )
+
+    # -- (de)serialisation -----------------------------------------------------
+
+    def manifest(self) -> Dict[str, Any]:
+        """JSON-able description: schema, shapes, dtypes, scenario index."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "n_flows": self.n_flows,
+            "n_scenarios": self.n_scenarios,
+            "columns": {
+                name: str(getattr(self, name).dtype)
+                for name in ("src_code", "dst_code", "scenario_idx")
+                + _FLOAT_COLUMNS + _INT_COLUMNS
+            },
+            "scenarios": self.scenarios,
+        }
+
+    def _arrays(self) -> Dict[str, np.ndarray]:
+        manifest_bytes = json.dumps(self.manifest(), sort_keys=True).encode("utf-8")
+        return {
+            "manifest": np.frombuffer(manifest_bytes, dtype=np.uint8),
+            "node_names": self.node_names,
+            "src_code": self.src_code,
+            "dst_code": self.dst_code,
+            "scenario_idx": self.scenario_idx,
+            **{name: getattr(self, name) for name in _FLOAT_COLUMNS + _INT_COLUMNS},
+        }
+
+    def save(self, path: Any) -> None:
+        """Write the compact binary form: a compressed ``.npz`` of columns
+        plus the JSON manifest embedded as UTF-8 bytes."""
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **self._arrays())
+
+    def to_bytes(self) -> bytes:
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **self._arrays())
+        return buffer.getvalue()
+
+    @classmethod
+    def _from_npz(cls, data: Mapping[str, np.ndarray]) -> "ResultSet":
+        manifest = json.loads(bytes(data["manifest"]).decode("utf-8"))
+        if manifest.get("schema") != SCHEMA_VERSION:
+            raise ValueError(f"unsupported ResultSet schema {manifest.get('schema')!r}")
+        return cls(
+            node_names=data["node_names"],
+            src_code=data["src_code"],
+            dst_code=data["dst_code"],
+            scenario_idx=data["scenario_idx"],
+            scenarios=manifest["scenarios"],
+            **{name: data[name] for name in _FLOAT_COLUMNS + _INT_COLUMNS},
+        )
+
+    @classmethod
+    def load(cls, path: Any) -> "ResultSet":
+        with np.load(path) as data:
+            return cls._from_npz(data)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "ResultSet":
+        with np.load(io.BytesIO(payload)) as data:
+            return cls._from_npz(data)

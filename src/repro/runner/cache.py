@@ -1,10 +1,24 @@
 """Disk cache for batch-task results, keyed by a stable config hash.
 
-Results are stored as JSON files under ``<root>/<hh>/<hash>.json`` where
-``hh`` is the first two hex digits of the key (keeps directories small on
-large sweeps).  Writes go through a temp file plus :func:`os.replace` so a
-crashed worker never leaves a half-written entry behind, and concurrent
-writers of the same key are safe (last writer wins with identical content).
+Results are stored under ``<root>/<hh>/<hash>.json`` where ``hh`` is the
+first two hex digits of the key (keeps directories small on large sweeps).
+Writes go through a temp file plus :func:`os.replace` so a crashed worker
+never leaves a half-written entry behind, and concurrent writers of the
+same key are safe (last writer wins with identical content).
+
+Two result encodings share the store:
+
+* plain JSON-able results live inline in the ``.json`` entry (the original
+  format, still produced for non-columnar tasks);
+* :class:`repro.results.ResultSet` results are written as a compact binary
+  sidecar (``<hash>.npz``: compressed columns + embedded manifest) with the
+  ``.json`` entry reduced to a JSON manifest pointing at it.  This is what
+  keeps cache directories small on large sweeps -- flow tables compress far
+  better as typed columns than as per-flow dict text.
+
+Entries written before the columnar format (plain dict scenario results)
+load unchanged; sweep-level consumers lift them through
+:meth:`repro.results.ResultSet.coerce`.
 """
 
 from __future__ import annotations
@@ -17,7 +31,12 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from ..results import ResultSet
+
 __all__ = ["config_hash", "ResultCache"]
+
+#: Marker key identifying a JSON entry whose result lives in a binary sidecar.
+RESULTSET_MARKER = "__repro_resultset__"
 
 
 def _canonical(obj: Any) -> Any:
@@ -59,8 +78,24 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _binary_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.npz"
+
+    def _evict(self, key: str) -> None:
+        """Drop both files of a corrupt entry so the next ``put`` rewrites it."""
+        for path in (self._path(key), self._binary_path(key)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached entry for ``key`` (``{"config", "result"}``) or ``None``."""
+        """The cached entry for ``key`` (``{"config", "result"}``) or ``None``.
+
+        Columnar entries come back with ``entry["result"]`` already loaded
+        into a :class:`~repro.results.ResultSet`; legacy inline-JSON entries
+        are returned as stored.
+        """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -72,12 +107,22 @@ class ResultCache:
             # A corrupt entry would otherwise stay on disk forever: ``get``
             # keeps missing while ``__contains__`` keeps claiming the key
             # exists.  Unlink it so the next ``put`` rewrites a clean entry.
-            try:
-                path.unlink()
-            except FileNotFoundError:
-                pass
+            self._evict(key)
             self.misses += 1
             return None
+        marker = entry.get("result")
+        if isinstance(marker, dict) and RESULTSET_MARKER in marker:
+            try:
+                entry["result"] = ResultSet.load(self._binary_path(key))
+            except Exception:  # noqa: BLE001 -- any unreadable sidecar poisons the key
+                # Missing, truncated, or corrupt sidecar (np.load raises a
+                # zoo: OSError, ValueError, KeyError, EOFError,
+                # zipfile.BadZipFile, ...): the entry is unusable as a
+                # whole, and anything short of eviction would poison every
+                # future run of the sweep.
+                self._evict(key)
+                self.misses += 1
+                return None
         self.hits += 1
         return entry
 
@@ -86,16 +131,37 @@ class ResultCache:
         return None if entry is None else entry["result"]
 
     def put(self, key: str, config: Any, result: Any) -> Path:
-        """Store a result (must be JSON-able); returns the entry path."""
+        """Store a result; returns the entry path.
+
+        Plain results must be JSON-able and are stored inline.  A
+        :class:`~repro.results.ResultSet` is stored columnar: the binary
+        sidecar first, then the manifest entry (so a reader never sees a
+        manifest whose sidecar is missing).
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        stored: Any = result
+        if isinstance(result, ResultSet):
+            self._write_atomic(self._binary_path(key), result.to_bytes())
+            stored = {
+                RESULTSET_MARKER: {
+                    "format": "npz/1",
+                    "file": self._binary_path(key).name,
+                    "n_flows": result.n_flows,
+                    "n_scenarios": result.n_scenarios,
+                }
+            }
         payload = json.dumps(
-            {"key": key, "config": _canonical(config), "result": result},
+            {"key": key, "config": _canonical(config), "result": stored},
             sort_keys=True,
         )
+        self._write_atomic(path, payload.encode("utf-8"))
+        return path
+
+    def _write_atomic(self, path: Path, payload: bytes) -> None:
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
             os.replace(tmp_name, path)
         except BaseException:
@@ -104,7 +170,6 @@ class ResultCache:
             except FileNotFoundError:
                 pass
             raise
-        return path
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

@@ -15,6 +15,7 @@ from .execute import (
     aggregate_metrics,
     run_scenario,
     scenario_group_key,
+    scenario_summaries,
     scenario_task,
     unpruned_variant,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "register_topology",
     "run_scenario",
     "scenario_group_key",
+    "scenario_summaries",
     "scenario_task",
     "unpruned_variant",
 ]

@@ -20,10 +20,11 @@ submission chunks, which maximises per-worker hit rates.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..results import ResultSet
 from ..runner.batch import BatchTask
 from .spec import Scenario
 
@@ -32,6 +33,7 @@ __all__ = [
     "scenario_task",
     "scenario_group_key",
     "aggregate_metrics",
+    "scenario_summaries",
     "unpruned_variant",
 ]
 
@@ -59,8 +61,13 @@ def _warm_state_for(scenario: Scenario):
     return state
 
 
-def run_scenario(**config: Any) -> Dict[str, Any]:
-    """Build and run one scenario from its plain-dict config."""
+def run_scenario(**config: Any) -> ResultSet:
+    """Build and run one scenario from its plain-dict config.
+
+    Returns the scenario's columnar :class:`~repro.results.ResultSet` --
+    numpy columns pickle as flat buffers, so this is also what keeps the
+    worker->parent pipe traffic small on large sweeps.
+    """
     scenario = Scenario.from_config(config)
     return scenario.run(warm=_warm_state_for(scenario))
 
@@ -96,16 +103,43 @@ def scenario_group_key(task: BatchTask) -> Any:
         return ()
 
 
-def aggregate_metrics(results: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
-    """Summarise a batch of scenario results into sweep-level statistics."""
-    if not results:
+def scenario_summaries(
+    results: Union[ResultSet, Sequence[Any]]
+) -> List[Dict[str, Any]]:
+    """Flatten sweep output into one summary dict per scenario.
+
+    Accepts the columnar forms (one ResultSet, or a sequence of per-task
+    ResultSets) as well as legacy per-flow dicts -- including a mixed
+    sequence, which is what a cache-backed sweep yields when some entries
+    predate the columnar format and load through the dict shim.
+    """
+    if isinstance(results, ResultSet):
+        return list(results.scenarios)
+    summaries: List[Dict[str, Any]] = []
+    for result in results:
+        if isinstance(result, ResultSet):
+            summaries.extend(result.scenarios)
+        else:
+            summaries.append(result)
+    return summaries
+
+
+def aggregate_metrics(results: Union[ResultSet, Sequence[Any]]) -> Dict[str, Any]:
+    """Summarise a sweep into sweep-level statistics.
+
+    Operates on the scenario index columns (array reductions over the
+    per-scenario ``total_pps`` values), producing byte-identical numbers to
+    the historical dict-walking implementation.
+    """
+    summaries = scenario_summaries(results)
+    if not summaries:
         return {"n_scenarios": 0}
-    totals = np.asarray([r["total_pps"] for r in results], dtype=float)
+    totals = np.asarray([r["total_pps"] for r in summaries], dtype=float)
     by_topology: Dict[str, List[float]] = {}
-    for r in results:
+    for r in summaries:
         by_topology.setdefault(r["topology"], []).append(r["total_pps"])
     return {
-        "n_scenarios": len(results),
+        "n_scenarios": len(summaries),
         "total_pps_mean": float(totals.mean()),
         "total_pps_min": float(totals.min()),
         "total_pps_max": float(totals.max()),

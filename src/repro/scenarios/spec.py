@@ -19,6 +19,8 @@ import numpy as np
 from ..constants import DEFAULT_TX_POWER_DBM, EXPERIMENT_PAYLOAD_BYTES, FREQ_5_GHZ
 from ..propagation.channel import ChannelModel
 from ..propagation.pathloss import LogDistancePathLoss
+from ..registry import MACS, TRAFFIC_MODELS
+from ..results import ResultSet
 from ..simulation.mac.tdma import TdmaSchedule
 from ..simulation.medium import DEFAULT_DETECTABILITY_MARGIN_DB, Medium
 from ..simulation.network import WirelessNetwork
@@ -26,6 +28,33 @@ from ..simulation.traffic import PoissonTraffic, SaturatedTraffic
 from .topologies import Placement, generate_topology
 
 __all__ = ["Scenario"]
+
+
+# -- builtin traffic models ------------------------------------------------------
+#
+# Registered here (not in repro.simulation.traffic) because the factory
+# signature is scenario-centric: it closes over the spec's payload/load
+# fields and the network's seeded child-rng stream.  Additional models plug
+# in with ``@TRAFFIC_MODELS.register("name")`` and are selected by
+# ``Scenario(traffic="name", traffic_params={...})`` -- no Scenario changes.
+
+@TRAFFIC_MODELS.register("saturated")
+def _saturated_traffic(scenario: "Scenario", net: WirelessNetwork, destination: str, **params):
+    return SaturatedTraffic(
+        destination=destination, payload_bytes=scenario.payload_bytes, **params
+    )
+
+
+@TRAFFIC_MODELS.register("poisson")
+def _poisson_traffic(scenario: "Scenario", net: WirelessNetwork, destination: str, **params):
+    return PoissonTraffic(
+        sim=net.sim,
+        rate_pps=scenario.offered_load_pps,
+        destination=destination,
+        payload_bytes=scenario.payload_bytes,
+        rng=net._child_rng(),
+        **params,
+    )
 
 
 @dataclass(frozen=True)
@@ -62,8 +91,15 @@ class Scenario:
     traffic: str = "saturated"
     offered_load_pps: float = 200.0
     payload_bytes: int = EXPERIMENT_PAYLOAD_BYTES
+    #: Extra keyword arguments for registered (plugin) traffic factories.
+    #: Omitted from :meth:`as_config` when empty so pre-existing cache keys
+    #: are unchanged.
+    traffic_params: Dict[str, Any] = field(default_factory=dict)
     # MAC
     mac: str = "csma"
+    #: Extra keyword arguments for registered (plugin) MAC factories; same
+    #: omit-when-empty cache-key compatibility rule as ``traffic_params``.
+    mac_params: Dict[str, Any] = field(default_factory=dict)
     cca_threshold_dbm: Optional[float] = -82.0
     cca_noise_db: float = 2.0
     rate_mbps: float = 6.0
@@ -94,10 +130,12 @@ class Scenario:
             raise ValueError("sigma_db must be non-negative")
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
-        if self.traffic not in ("saturated", "poisson"):
-            raise ValueError(f"unknown traffic model {self.traffic!r}")
-        if self.mac not in ("csma", "tdma"):
-            raise ValueError(f"unknown MAC {self.mac!r}")
+        if self.traffic not in TRAFFIC_MODELS:
+            known = ", ".join(sorted(TRAFFIC_MODELS))
+            raise ValueError(f"unknown traffic model {self.traffic!r} (known: {known})")
+        if self.mac not in MACS:
+            known = ", ".join(sorted(MACS))
+            raise ValueError(f"unknown MAC {self.mac!r} (known: {known})")
 
     # -- construction ----------------------------------------------------------
 
@@ -194,21 +232,11 @@ class Scenario:
                 slot_duration_s=self.tdma_slot_s,
                 slot_owners=tuple(senders) or tuple(placement.positions),
             )
+        make_traffic = TRAFFIC_MODELS.get(self.traffic)
         for node_id, position in placement.positions.items():
             traffic = None
             if node_id in senders:
-                if self.traffic == "saturated":
-                    traffic = SaturatedTraffic(
-                        destination=senders[node_id], payload_bytes=self.payload_bytes
-                    )
-                else:
-                    traffic = PoissonTraffic(
-                        sim=net.sim,
-                        rate_pps=self.offered_load_pps,
-                        destination=senders[node_id],
-                        payload_bytes=self.payload_bytes,
-                        rng=net._child_rng(),
-                    )
+                traffic = make_traffic(self, net, senders[node_id], **self.traffic_params)
             kwargs: Dict[str, Any] = {}
             if self.mac == "csma":
                 kwargs.update(use_acks=self.use_acks, use_rts_cts=self.use_rts_cts)
@@ -219,21 +247,47 @@ class Scenario:
                 traffic=traffic,
                 rate_mbps=self.rate_mbps,
                 tdma_schedule=schedule,
+                mac_params=self.mac_params,
                 **kwargs,
             )
         return net, placement
 
     # -- execution -------------------------------------------------------------
 
-    def run(self, warm: Optional[Tuple[Any, ...]] = None) -> Dict[str, Any]:
-        """Run the scenario and return JSON-able per-flow and aggregate metrics."""
+    def run(self, warm: Optional[Tuple[Any, ...]] = None) -> ResultSet:
+        """Run the scenario and return a typed columnar :class:`ResultSet`.
+
+        The set holds one flow row per directed flow (delivered/offered
+        throughput and packet counts, loss fraction; the ``delay_s`` column
+        is reserved -- the MACs do not timestamp frames yet) plus one
+        scenario-index entry carrying exactly the summary scalars the legacy
+        dict did.  Dict consumers keep working: single-scenario subscripting
+        (``result["total_pps"]``) and :meth:`ResultSet.to_flow_dicts` expose
+        the historical encoding unchanged.
+        """
         net, placement = self.build_network(warm)
         outcome = net.run(self.duration_s)
-        per_flow: Dict[str, float] = {}
-        for src, dst in placement.flows:
-            per_flow[f"{src}->{dst}"] = outcome.link(src, dst).packets_per_second
-        flow_rates = list(per_flow.values())
-        return {
+        flow_rates: list = []
+        delivered_pps = np.empty(len(placement.flows), dtype=np.float64)
+        delivered_packets = np.empty(len(placement.flows), dtype=np.int64)
+        offered_packets = np.empty(len(placement.flows), dtype=np.int64)
+        sent_packets = np.empty(len(placement.flows), dtype=np.int64)
+        for row, (src, dst) in enumerate(placement.flows):
+            pps = outcome.link(src, dst).packets_per_second
+            flow_rates.append(pps)
+            delivered_pps[row] = pps
+            delivered_packets[row] = outcome.packets_delivered(src, dst)
+            traffic = net.nodes[src].traffic
+            offered_packets[row] = getattr(traffic, "packets_offered", -1)
+            sent_packets[row] = getattr(traffic, "packets_sent", -1)
+        offered_pps = np.where(
+            offered_packets >= 0, offered_packets / self.duration_s, np.nan
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            loss_frac = np.where(
+                sent_packets > 0, 1.0 - delivered_packets / sent_packets, np.nan
+            )
+        meta = {
             "name": self.name,
             "topology": self.topology,
             "n_nodes": self.n_nodes,
@@ -244,16 +298,36 @@ class Scenario:
             "mean_flow_pps": float(np.mean(flow_rates)) if flow_rates else 0.0,
             "min_flow_pps": float(min(flow_rates)) if flow_rates else 0.0,
             "max_flow_pps": float(max(flow_rates)) if flow_rates else 0.0,
-            "per_flow_pps": per_flow,
             "events_processed": outcome.events_processed,
         }
+        return ResultSet.from_flows(
+            meta,
+            placement.flows,
+            delivered_pps=delivered_pps,
+            offered_pps=offered_pps,
+            loss_frac=loss_frac,
+            delivered_packets=delivered_packets,
+            offered_packets=offered_packets,
+            sent_packets=sent_packets,
+        )
 
     # -- (de)serialisation -----------------------------------------------------
 
     def as_config(self) -> Dict[str, Any]:
-        """Plain-dict form (JSON-able) suitable for tasks and cache keys."""
+        """Plain-dict form (JSON-able) suitable for tasks and cache keys.
+
+        The plugin-parameter fields (``traffic_params`` / ``mac_params``)
+        are omitted while empty: every pre-existing scenario then hashes to
+        exactly the key it had before those fields existed, so result caches
+        written by older versions keep hitting.
+        """
         config = asdict(self)
         config["topology_params"] = dict(self.topology_params)
+        for optional in ("traffic_params", "mac_params"):
+            if not config[optional]:
+                del config[optional]
+            else:
+                config[optional] = dict(config[optional])
         return config
 
     @classmethod

@@ -21,6 +21,8 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
+from ..registry import TOPOLOGIES
+
 __all__ = [
     "Placement",
     "TOPOLOGIES",
@@ -57,20 +59,15 @@ class Placement:
 
 Generator = Callable[..., Placement]
 
-#: Registry of topology name -> generator function.
-TOPOLOGIES: Dict[str, Generator] = {}
-
 
 def register_topology(name: str) -> Callable[[Generator], Generator]:
-    """Class-less plugin hook: ``@register_topology("my_layout")``."""
+    """Class-less plugin hook: ``@register_topology("my_layout")``.
 
-    def decorator(fn: Generator) -> Generator:
-        if name in TOPOLOGIES:
-            raise ValueError(f"topology {name!r} already registered")
-        TOPOLOGIES[name] = fn
-        return fn
-
-    return decorator
+    Kept as the historical spelling; it delegates to the shared
+    :data:`repro.registry.TOPOLOGIES` registry, which is also reachable as
+    ``repro.api.registry.TOPOLOGIES``.
+    """
+    return TOPOLOGIES.register(name)
 
 
 def generate_topology(name: str, n_nodes: int, extent: float, seed: int, **params) -> Placement:

@@ -17,13 +17,14 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..capacity.adaptation import FixedRate, OracleRateSelector, RateSelector
 from ..capacity.rates import OFDM_RATES, RateInfo, rate_by_mbps
 from ..propagation.channel import ChannelModel
+from ..registry import MACS
 from .engine import Simulator
 from .frames import BROADCAST
 from .mac.csma import CsmaMac
@@ -38,6 +39,29 @@ from .traffic import TrafficSource
 __all__ = ["WirelessNetwork", "RunResult"]
 
 Position = Tuple[float, float]
+
+
+# -- builtin MAC factories -------------------------------------------------------
+#
+# :meth:`WirelessNetwork.add_node` dispatches MAC construction through the
+# shared :data:`repro.registry.MACS` registry, so additional protocols plug
+# in with ``@MACS.register("name")`` and are selected by ``mac="name"``
+# (plus free-form ``mac_params``) without touching this module or
+# :class:`repro.scenarios.Scenario`.  A factory takes
+# ``(network, node_id, radio, rate_selector, rng, **params)``.
+
+@MACS.register("csma")
+def _make_csma(network: "WirelessNetwork", node_id, radio, rate_selector, rng, **params):
+    return CsmaMac(node_id, network.sim, radio, rate_selector, rng=rng, **params)
+
+
+@MACS.register("tdma")
+def _make_tdma(
+    network: "WirelessNetwork", node_id, radio, rate_selector, rng, schedule=None, **params
+):
+    if schedule is None:
+        raise ValueError("tdma MAC requires a tdma_schedule")
+    return TdmaMac(node_id, network.sim, radio, rate_selector, schedule, rng=rng, **params)
 
 
 @dataclass
@@ -87,12 +111,31 @@ class WirelessNetwork:
         self.reception = reception if reception is not None else ReceptionModel()
         self.nodes: Dict[Hashable, Node] = {}
         self._rng = np.random.default_rng(seed)
+        self._child_seeds: list = []
         self._started = False
 
     # -- construction -----------------------------------------------------------
 
+    #: Child seeds are drawn from ``_rng`` in blocks of this size: one
+    #: vectorized ``integers`` call instead of ~2N scalar draws while
+    #: constructing an N-node network.  Bounded-integer generation consumes
+    #: the PCG64 stream value-by-value, so the batched draws are
+    #: bit-identical to the historical one-draw-per-call sequence (pinned by
+    #: tests/test_simulation_mac_network.py).
+    _SEED_BATCH = 256
+
+    def _next_child_seed(self) -> int:
+        if not self._child_seeds:
+            batch = self._rng.integers(0, 2**63 - 1, size=self._SEED_BATCH)
+            self._child_seeds = [int(s) for s in batch[::-1]]
+        return self._child_seeds.pop()
+
     def _child_rng(self) -> np.random.Generator:
-        return np.random.default_rng(self._rng.integers(0, 2**63 - 1))
+        # Direct Generator(PCG64(seed)) construction: the same
+        # SeedSequence-derived stream ``default_rng(seed)`` yields (pinned by
+        # the batched-seed tests), minus a layer of dispatch overhead on a
+        # path hit ~2N times per network build.
+        return np.random.Generator(np.random.PCG64(self._next_child_seed()))
 
     def add_node(
         self,
@@ -106,12 +149,17 @@ class WirelessNetwork:
         tdma_schedule: Optional[TdmaSchedule] = None,
         use_acks: bool = False,
         use_rts_cts: bool = False,
+        mac_params: Optional[Dict[str, Any]] = None,
     ) -> Node:
         """Create a node with the given MAC and traffic source.
 
         ``cca_threshold_dbm`` defaults to the network-wide setting; pass
         ``None`` explicitly to disable carrier sense on this node (the
-        Section 4 "concurrency" configuration).
+        Section 4 "concurrency" configuration).  ``mac`` names an entry in
+        :data:`repro.registry.MACS`; ``mac_params`` carries extra keyword
+        arguments to the registered factory (how plugin MACs receive their
+        configuration).  The legacy convenience flags (``tdma_schedule``,
+        ``use_acks``, ``use_rts_cts``) are folded into those params.
         """
         if node_id in self.nodes:
             raise ValueError(f"node {node_id!r} already exists")
@@ -137,24 +185,21 @@ class WirelessNetwork:
             else:
                 rate_selector = FixedRate(OFDM_RATES[0])
 
+        if mac not in MACS:
+            known = ", ".join(sorted(MACS))
+            raise ValueError(f"unknown MAC type {mac!r} (known: {known})")
+        params: Dict[str, Any] = dict(mac_params) if mac_params else {}
         if mac == "csma":
-            mac_obj = CsmaMac(
-                node_id,
-                self.sim,
-                radio,
-                rate_selector,
-                rng=self._child_rng(),
-                use_acks=use_acks,
-                use_rts_cts=use_rts_cts,
-            )
-        elif mac == "tdma":
-            if tdma_schedule is None:
-                raise ValueError("tdma MAC requires a tdma_schedule")
-            mac_obj = TdmaMac(
-                node_id, self.sim, radio, rate_selector, tdma_schedule, rng=self._child_rng()
-            )
-        else:
-            raise ValueError(f"unknown MAC type {mac!r}")
+            params.setdefault("use_acks", use_acks)
+            params.setdefault("use_rts_cts", use_rts_cts)
+        elif mac == "tdma" and tdma_schedule is not None:
+            # Historically ``tdma_schedule`` was ignored for non-tdma MACs
+            # (callers pass one network-wide schedule to every add_node);
+            # keep that.  Plugin MACs receive schedules via ``mac_params``.
+            params.setdefault("schedule", tdma_schedule)
+        mac_obj = MACS.get(mac)(
+            self, node_id, radio, rate_selector, rng=self._child_rng(), **params
+        )
 
         node = Node(node_id=node_id, position=position, radio=radio, mac=mac_obj, traffic=traffic)
         self.nodes[node_id] = node

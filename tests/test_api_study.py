@@ -1,0 +1,267 @@
+"""repro.api: the fluent Study facade, CLI parity, and registry plugins.
+
+Two contracts dominate: (1) the ``run-scenarios`` CLI and the figure
+experiments produce byte-identical metrics through the Study/ResultSet path
+(the legacy grid expansion is frozen inline here as the reference), and
+(2) new topologies / traffic models / MACs plug in through the registries
+without touching Scenario internals.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import ResultSet, Study, placement_seed, registry
+from repro.experiments import run_scenarios
+from repro.runner import ResultCache, config_hash, expand_grid
+from repro.scenarios import Scenario, aggregate_metrics, scenario_task
+from repro.simulation.mac.csma import CsmaMac
+from repro.simulation.traffic import SaturatedTraffic
+
+
+def legacy_build_scenarios(args) -> list:
+    """The pre-Study CLI expansion, frozen verbatim as the parity reference."""
+    topologies = []
+    for chunk in args.topology or ["uniform_disc"]:
+        topologies.extend(name.strip() for name in chunk.split(",") if name.strip())
+    grid = {
+        "topology": topologies,
+        "n_nodes": args.nodes or [10],
+        "extent_m": args.extent or [120.0],
+        "sigma_db": args.sigma or [0.0],
+        "cca_threshold_dbm": args.cca if args.cca is not None else [-82.0],
+        "replicate": list(range(args.seeds)),
+    }
+    base = {
+        "mac": args.mac,
+        "traffic": args.traffic,
+        "offered_load_pps": args.load,
+        "rate_mbps": args.rate,
+        "duration_s": args.duration,
+        "detectability_margin_db": args.prune_margin,
+        "cca_noise_db": args.cca_noise,
+    }
+    scenarios = []
+    for config in expand_grid(base, grid):
+        replicate = config.pop("replicate")
+        config["seed"] = int(
+            config_hash({
+                "topology": config["topology"],
+                "n_nodes": config["n_nodes"],
+                "extent_m": config["extent_m"],
+                "replicate": replicate,
+                "base_seed": args.base_seed,
+            })[:8],
+            16,
+        )
+        cca = config["cca_threshold_dbm"]
+        config["name"] = (
+            f"{config['topology']}-n{config['n_nodes']}"
+            f"-e{config['extent_m']:g}-s{config['sigma_db']:g}"
+            f"-c{'off' if cca is None else format(cca, 'g')}-r{replicate}"
+        )
+        scenarios.append(Scenario(**config))
+    return scenarios
+
+
+class TestCliParity:
+    ARGV = [
+        "--topology", "line,exposed_terminal", "--nodes", "4", "--nodes", "6",
+        "--sigma", "0", "--sigma", "6", "--seeds", "2", "--duration", "0.1",
+    ]
+
+    def test_study_expansion_matches_legacy_cli_exactly(self):
+        """Same scenarios, same order, same seeds/names -- same cache keys."""
+        args = run_scenarios.build_parser().parse_args(self.ARGV)
+        new = run_scenarios.build_scenarios(args)
+        old = legacy_build_scenarios(args)
+        assert new == old
+        assert [scenario_task(s).cache_key for s in new] == [
+            scenario_task(s).cache_key for s in old
+        ]
+
+    def test_cli_metrics_byte_identical_to_direct_runs(self, capsys):
+        """The printed sweep aggregate equals the dict-era computation."""
+        argv = ["--topology", "exposed_terminal", "--nodes", "4", "--nodes", "8",
+                "--duration", "0.1", "--no-cache"]
+        assert run_scenarios.main(argv) == 0
+        printed = capsys.readouterr().out
+        args = run_scenarios.build_parser().parse_args(argv)
+        reference = aggregate_metrics(
+            [s.run().to_flow_dicts()[0] for s in legacy_build_scenarios(args)]
+        )
+        for key in ("total_pps_mean", "total_pps_min", "total_pps_max"):
+            assert f"{key}: {reference[key]:.4g}" in printed
+
+    def test_placement_seed_is_the_cli_derivation(self):
+        config = {"topology": "grid", "n_nodes": 10, "extent_m": 120.0}
+        expected = int(
+            config_hash({**config, "replicate": 3, "base_seed": 7})[:8], 16
+        )
+        assert placement_seed(config, 3, 7) == expected
+
+
+class TestStudyFacade:
+    def test_builder_steps_do_not_mutate(self):
+        base = Study(topology="line", n_nodes=4, duration_s=0.1)
+        swept = base.sweep(n_nodes=[4, 6])
+        assert len(base.scenarios()) == 1
+        assert len(swept.scenarios()) == 2
+        assert len(swept.seeds(3).scenarios()) == 6
+
+    def test_seeds_are_placement_stable_across_channel_axes(self):
+        """Sigma sweeps compare the same placements, replicates differ."""
+        study = (
+            Study(topology="grid", n_nodes=6, duration_s=0.1)
+            .sweep(sigma_db=[0.0, 8.0])
+            .seeds(2)
+        )
+        scenarios = study.scenarios()
+        assert len(scenarios) == 4
+        by_sigma = {}
+        for s in scenarios:
+            by_sigma.setdefault(s.sigma_db, []).append(s.seed)
+        assert by_sigma[0.0] == by_sigma[8.0]          # same placements
+        assert len(set(by_sigma[0.0])) == 2            # distinct replicates
+
+    def test_run_results_and_aggregate(self, tmp_path):
+        run = (
+            Study(topology="line", duration_s=0.1)
+            .sweep(n_nodes=[4, 6])
+            .cache(str(tmp_path / "cache"))
+            .run()
+        )
+        results = run.results()
+        assert isinstance(results, ResultSet)
+        assert results.n_scenarios == 2
+        assert run.aggregate() == aggregate_metrics(run.raw)
+        warm = (
+            Study(topology="line", duration_s=0.1)
+            .sweep(n_nodes=[4, 6])
+            .cache(str(tmp_path / "cache"))
+            .run()
+        )
+        assert warm.report.executed == 0
+        assert warm.report.cache_hits == 2
+        assert warm.results() == results
+
+    def test_mixed_old_and_new_cache_entries(self, tmp_path):
+        """A sweep where one entry predates the columnar format still lifts."""
+        study = Study(topology="line", duration_s=0.1).sweep(n_nodes=[4, 6])
+        scenarios = study.scenarios()
+        cache = ResultCache(tmp_path / "cache")
+        # Pre-seed task 0 with an old-format inline-JSON entry.
+        task = scenario_task(scenarios[0])
+        legacy = scenarios[0].run().to_flow_dicts()[0]
+        path = cache._path(task.cache_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {"key": task.cache_key, "config": task.config, "result": legacy}
+        ))
+        run = study.cache(cache).run()
+        assert run.report.cache_hits == 1 and run.report.executed == 1
+        results = run.results()
+        assert results.n_scenarios == 2
+        fresh = ResultSet.coerce([s.run() for s in scenarios])
+        assert results.to_flow_dicts() == fresh.to_flow_dicts()
+        assert run.aggregate() == aggregate_metrics(fresh)
+
+    def test_task_study_explicit_and_swept(self):
+        base = {"base_seed": 7}
+        swept = (
+            Study.tasks("repro.runner.sweep.per_task_seed", base)
+            .sweep(index=[0, 1, 2])
+            .run()
+        )
+        from repro.runner import per_task_seed
+        assert swept.raw == [per_task_seed(7, i) for i in range(3)]
+        explicit = Study.of_configs(
+            "repro.runner.sweep.per_task_seed",
+            [{"base_seed": 7, "index": i} for i in range(3)],
+        ).run()
+        assert explicit.raw == swept.raw
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Study(topology="line").seeds(0)
+        with pytest.raises(ValueError):
+            Study.of([Scenario()]).sweep(n_nodes=[4])
+        with pytest.raises(ValueError):
+            Study.tasks("x.y").seeds(2)
+        with pytest.raises(TypeError):
+            Study(42)
+
+
+class TestRegistries:
+    def test_builtins_present(self):
+        assert {"csma", "tdma"} <= set(registry.MACS)
+        assert {"saturated", "poisson"} <= set(registry.TRAFFIC_MODELS)
+        assert len(registry.TOPOLOGIES) >= 7
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.MACS.register("csma", lambda *a, **k: None)
+
+    def test_unknown_lookup_names_options(self):
+        with pytest.raises(KeyError, match="unknown mac"):
+            registry.MACS.get("aloha")
+
+    def test_custom_topology_pluggable(self):
+        from repro.scenarios.topologies import Placement
+
+        @registry.TOPOLOGIES.register("two_pair_test")
+        def two_pair(n_nodes, extent, rng, **params):
+            positions = {f"p{i}": (float(i) * 10.0, 0.0) for i in range(n_nodes)}
+            return Placement("two_pair_test", positions, (("p0", "p1"),))
+
+        try:
+            rs = Scenario(topology="two_pair_test", n_nodes=4, duration_s=0.1).run()
+            assert rs["topology"] == "two_pair_test"
+            assert rs.n_flows == 1 and rs["total_pps"] > 0
+        finally:
+            registry.TOPOLOGIES.unregister("two_pair_test")
+
+    def test_custom_traffic_model_pluggable(self):
+        @registry.TRAFFIC_MODELS.register("saturated_small")
+        def saturated_small(scenario, net, destination, payload_bytes=200):
+            return SaturatedTraffic(destination=destination, payload_bytes=payload_bytes)
+
+        try:
+            base = dict(topology="line", n_nodes=4, duration_s=0.1, seed=3)
+            custom = Scenario(traffic="saturated_small",
+                              traffic_params={"payload_bytes": 100}, **base)
+            # params reach the factory and round-trip through the config
+            assert Scenario.from_config(custom.as_config()) == custom
+            rs = custom.run()
+            small = Scenario(traffic="saturated_small", **base).run()
+            assert rs["total_pps"] > small["total_pps"] > 0  # smaller frames -> more pps
+        finally:
+            registry.TRAFFIC_MODELS.unregister("saturated_small")
+
+    def test_custom_mac_pluggable_and_rng_aligned(self):
+        """A registered MAC gets the same child-rng stream as a builtin."""
+        @registry.MACS.register("csma_clone")
+        def csma_clone(network, node_id, radio, rate_selector, rng, **params):
+            return CsmaMac(node_id, network.sim, radio, rate_selector, rng=rng, **params)
+
+        try:
+            base = dict(topology="exposed_terminal", n_nodes=4, duration_s=0.2, seed=5)
+            clone = Scenario(mac="csma_clone", mac_params={"use_acks": False}, **base).run()
+            builtin = Scenario(mac="csma", **base).run()
+            assert np.array_equal(clone.delivered_pps, builtin.delivered_pps)
+        finally:
+            registry.MACS.unregister("csma_clone")
+
+    def test_empty_plugin_params_keep_cache_keys_stable(self):
+        """Scenarios without plugin params hash exactly as before the fields."""
+        config = Scenario(topology="line", n_nodes=4).as_config()
+        assert "traffic_params" not in config
+        assert "mac_params" not in config
+        with_params = Scenario(topology="line", n_nodes=4,
+                               traffic_params={"payload_bytes": 64})
+        assert "traffic_params" in with_params.as_config()
+        assert (scenario_task(Scenario(topology="line", n_nodes=4)).cache_key
+                != scenario_task(with_params).cache_key)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
@@ -153,3 +155,48 @@ class TestAveragePacketSuccess:
     def test_negative_sigma_rejected(self):
         with pytest.raises(ValueError):
             average_packet_success_rate(10.0, rate_by_mbps(6.0), sigma_db=-1.0)
+
+
+class TestScalarFastPath:
+    """The float fast path of packet_error_rate is bit-identical to the
+    vectorized path (ROADMAP open item: skip the array machinery on the
+    per-frame decode, never change a single result)."""
+
+    def _vectorized_reference(self, snr_db, rate, payload_bytes):
+        # Route through the array path by wrapping in a 1-element array.
+        return float(
+            packet_error_rate(np.asarray([snr_db]), rate, payload_bytes)[0]
+        )
+
+    def test_bit_identical_across_rates_and_payloads(self):
+        snrs = np.linspace(-30.0, 50.0, 2001)
+        for rate in OFDM_RATES:
+            for payload in (1, 100, 1400):
+                vec = packet_error_rate(np.asarray(snrs), rate, payload)
+                for i, snr in enumerate(snrs.tolist()):
+                    assert packet_error_rate(snr, rate, payload) == vec[i], (
+                        f"{rate.mbps} Mbps, payload {payload}, snr {snr}"
+                    )
+
+    def test_scalar_edge_cases(self):
+        rate = rate_by_mbps(6.0)
+        assert packet_error_rate(float("-inf"), rate) == self._vectorized_reference(
+            float("-inf"), rate, 1400
+        )
+        assert packet_error_rate(float("inf"), rate) == self._vectorized_reference(
+            float("inf"), rate, 1400
+        )
+        assert math.isnan(packet_error_rate(float("nan"), rate))
+        # int and numpy scalar inputs keep returning plain floats
+        assert isinstance(packet_error_rate(10, rate), float)
+        assert isinstance(packet_error_rate(np.float64(10.0), rate), float)
+        assert packet_error_rate(10, rate) == packet_error_rate(10.0, rate)
+
+    def test_invalid_payload_still_rejected(self):
+        with pytest.raises(ValueError):
+            packet_error_rate(10.0, rate_by_mbps(6.0), payload_bytes=0)
+
+    def test_success_rate_complement_uses_fast_path_value(self):
+        rate = rate_by_mbps(24.0)
+        snr = rate.min_snr_db + 1.0
+        assert packet_success_rate(snr, rate) == 1.0 - packet_error_rate(snr, rate)

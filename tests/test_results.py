@@ -1,0 +1,230 @@
+"""repro.results: columnar ResultSet construction, conversion, and storage.
+
+The contract under test: the ResultSet is the native currency of scenario
+runs, and the legacy per-flow dict encoding survives round trips exactly --
+``from_flow_dicts(x).to_flow_dicts() == x`` for every seeded topology, old
+JSON cache entries load through the shim, and the binary form is lossless.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.results import FLOW_COLUMNS, ResultSet
+from repro.runner import BatchRunner, ResultCache
+from repro.scenarios import TOPOLOGIES, Scenario, scenario_task
+
+#: One cheap scenario per registered topology (all 7 seeded generators).
+ALL_TOPOLOGY_SCENARIOS = [
+    Scenario(name=f"rt-{name}", topology=name, n_nodes=9, extent_m=150.0,
+             duration_s=0.1, seed=11 + i)
+    for i, name in enumerate(sorted(TOPOLOGIES))
+]
+
+
+def small_resultset() -> ResultSet:
+    return Scenario(topology="exposed_terminal", n_nodes=4, duration_s=0.2, seed=5).run()
+
+
+class TestScenarioRunProducesResultSet:
+    def test_native_columns_are_populated(self):
+        rs = small_resultset()
+        assert rs.n_flows == 2 and rs.n_scenarios == 1
+        assert np.all(rs.delivered_packets >= 0)
+        assert np.all(rs.offered_packets > 0)
+        assert np.all(rs.sent_packets > 0)
+        assert np.all(np.isfinite(rs.loss_frac))
+        assert np.all((rs.loss_frac >= 0) & (rs.loss_frac <= 1))
+        # delay_s is reserved until the MACs timestamp frames
+        assert np.all(np.isnan(rs.delay_s))
+        # offered >= sent >= delivered along each flow
+        assert np.all(rs.offered_packets >= rs.sent_packets)
+        assert np.all(rs.sent_packets >= rs.delivered_packets)
+
+    def test_offered_pps_matches_counters(self):
+        rs = small_resultset()
+        duration = rs["duration_s"]
+        assert np.array_equal(rs.offered_pps, rs.offered_packets / duration)
+
+    def test_legacy_subscript_shim(self):
+        rs = small_resultset()
+        legacy = rs.to_flow_dicts()[0]
+        for key in ("name", "topology", "n_nodes", "n_flows", "seed", "duration_s",
+                    "total_pps", "mean_flow_pps", "min_flow_pps", "max_flow_pps",
+                    "per_flow_pps", "events_processed"):
+            assert rs[key] == legacy[key]
+        assert rs.get("nonexistent", "fallback") == "fallback"
+
+    def test_summary_scalars_match_per_flow_columns(self):
+        rs = small_resultset()
+        assert rs["total_pps"] == float(sum(rs.delivered_pps.tolist()))
+        assert rs["min_flow_pps"] == rs.delivered_pps.min()
+        assert rs["max_flow_pps"] == rs.delivered_pps.max()
+
+    def test_multi_scenario_subscript_rejected(self):
+        both = ResultSet.concat([small_resultset(),
+                                 Scenario(topology="line", n_nodes=4,
+                                          duration_s=0.1, seed=1).run()])
+        with pytest.raises(KeyError, match="single-scenario"):
+            both["total_pps"]
+        # flow columns stay subscriptable at any width
+        assert len(both["delivered_pps"]) == both.n_flows
+
+
+class TestRoundTripFidelity:
+    @pytest.mark.parametrize(
+        "scenario", ALL_TOPOLOGY_SCENARIOS, ids=lambda s: s.topology
+    )
+    def test_from_to_flow_dicts_identity_every_topology(self, scenario):
+        """The acceptance property: from_flow_dicts(x).to_flow_dicts() == x."""
+        legacy = scenario.run().to_flow_dicts()
+        assert ResultSet.from_flow_dicts(legacy).to_flow_dicts() == legacy
+
+    def test_native_to_legacy_to_native_keeps_delivered_columns(self):
+        rs = small_resultset()
+        rehydrated = ResultSet.from_flow_dicts(rs.to_flow_dicts())
+        assert np.array_equal(rehydrated.delivered_pps, rs.delivered_pps)
+        assert np.array_equal(rehydrated.src, rs.src)
+        assert np.array_equal(rehydrated.dst, rs.dst)
+        assert rehydrated.scenarios == rs.scenarios
+        # legacy encoding never carried the extended columns
+        assert np.all(rehydrated.delivered_packets == -1)
+        assert np.all(np.isnan(rehydrated.offered_pps))
+
+    def test_binary_round_trip_lossless(self, tmp_path):
+        rs = ResultSet.concat([s.run() for s in ALL_TOPOLOGY_SCENARIOS[:3]])
+        path = tmp_path / "sweep.npz"
+        rs.save(path)
+        assert ResultSet.load(path) == rs
+        assert ResultSet.from_bytes(rs.to_bytes()) == rs
+
+    def test_manifest_is_json_able(self):
+        manifest = small_resultset().manifest()
+        decoded = json.loads(json.dumps(manifest))
+        assert decoded["n_flows"] == 2
+        assert decoded["scenarios"][0]["topology"] == "exposed_terminal"
+
+    def test_bad_flow_key_rejected(self):
+        with pytest.raises(ValueError, match="src->dst"):
+            ResultSet.from_flow_dicts({"per_flow_pps": {"no-separator": 1.0}})
+
+
+class TestCombinators:
+    def test_concat_remaps_codes_and_offsets_scenarios(self):
+        parts = [s.run() for s in ALL_TOPOLOGY_SCENARIOS[:3]]
+        whole = ResultSet.concat(parts)
+        assert whole.n_scenarios == 3
+        assert whole.n_flows == sum(p.n_flows for p in parts)
+        offset = 0
+        for index, part in enumerate(parts):
+            rows = whole.scenario_idx == index
+            assert np.array_equal(whole.src[rows], part.src)
+            assert np.array_equal(whole.delivered_pps[rows],
+                                  part.delivered_pps)
+            offset += part.n_flows
+        assert ResultSet.concat([]) == ResultSet.empty()
+
+    def test_filter_by_mask(self):
+        rs = small_resultset()
+        top = rs.filter(rs.delivered_pps >= rs.delivered_pps.max())
+        assert top.n_flows == 1
+        assert top.delivered_pps[0] == rs.delivered_pps.max()
+        with pytest.raises(ValueError):
+            rs.filter(np.asarray([True]))
+
+    def test_group_by_flow_column_and_scenario_field(self):
+        parts = [s.run() for s in ALL_TOPOLOGY_SCENARIOS[:2]]
+        whole = ResultSet.concat(parts)
+        by_topology = whole.group_by("topology")
+        assert set(by_topology) == {p.scenarios[0]["topology"] for p in parts}
+        for name, group in by_topology.items():
+            # Groups are pruned to their own scenarios, so per-group scenario
+            # reductions (e.g. mean total_pps per topology) are scoped right.
+            assert all(s["topology"] == name for s in group.scenarios)
+            assert group["total_pps"] == by_topology[name].scenarios[0]["total_pps"]
+        by_dst = whole.group_by("dst")
+        assert sum(g.n_flows for g in by_dst.values()) == whole.n_flows
+
+    def test_filter_prune_scenarios_remaps_index(self):
+        parts = [s.run() for s in ALL_TOPOLOGY_SCENARIOS[:3]]
+        whole = ResultSet.concat(parts)
+        only_last = whole.filter(whole.scenario_idx == 2, prune_scenarios=True)
+        assert only_last.scenarios == [whole.scenarios[2]]
+        assert np.all(only_last.scenario_idx == 0)
+        assert only_last.to_flow_dicts() == parts[2].to_flow_dicts()
+
+    def test_split_inverts_concat(self):
+        parts = [s.run() for s in ALL_TOPOLOGY_SCENARIOS[:3]]
+        assert ResultSet.concat(parts).split() == parts
+
+    def test_scenario_column(self):
+        whole = ResultSet.concat([s.run() for s in ALL_TOPOLOGY_SCENARIOS[:3]])
+        totals = whole.scenario_column("total_pps")
+        assert totals.shape == (3,)
+        assert float(totals.sum()) == sum(s["total_pps"] for s in whole.scenarios)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(KeyError):
+            small_resultset().column("jitter")
+        assert set(FLOW_COLUMNS) >= {"src", "dst", "delivered_pps", "delay_s"}
+
+
+class TestCacheIntegration:
+    def test_resultset_stored_binary_and_reloaded(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        task = scenario_task(ALL_TOPOLOGY_SCENARIOS[0])
+        first = BatchRunner(workers=0, cache=cache).run([task])
+        assert cache._binary_path(task.cache_key).exists()
+        entry = json.loads(cache._path(task.cache_key).read_text())
+        assert "__repro_resultset__" in entry["result"]
+        second = BatchRunner(workers=0, cache=cache).run([task])
+        assert second.report.cache_hits == 1
+        assert second.results == first.results
+        assert isinstance(second.results[0], ResultSet)
+
+    def test_old_format_json_entry_loads_through_shim(self, tmp_path):
+        """A pre-columnar cache entry (inline dict result) still serves."""
+        cache = ResultCache(tmp_path / "cache")
+        scenario = ALL_TOPOLOGY_SCENARIOS[0]
+        task = scenario_task(scenario)
+        legacy_result = scenario.run().to_flow_dicts()[0]
+        # Write the entry exactly as the pre-columnar cache did: inline JSON.
+        path = cache._path(task.cache_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {"key": task.cache_key, "config": task.config, "result": legacy_result}
+        ))
+        outcome = BatchRunner(workers=0, cache=cache).run([task])
+        assert outcome.report.cache_hits == 1
+        assert outcome.results[0] == legacy_result
+        lifted = ResultSet.coerce(outcome.results)
+        assert lifted.to_flow_dicts() == [legacy_result]
+
+    @pytest.mark.parametrize("corruption", ["garbage", "truncated", "missing"])
+    def test_corrupt_binary_sidecar_evicted_and_reexecuted(self, tmp_path, corruption):
+        """Unreadable sidecars (np.load raises BadZipFile/EOFError/ValueError
+        depending on how the bytes are broken) must evict, not crash."""
+        cache = ResultCache(tmp_path / "cache")
+        task = scenario_task(ALL_TOPOLOGY_SCENARIOS[0])
+        first = BatchRunner(workers=0, cache=cache).run([task])
+        sidecar = cache._binary_path(task.cache_key)
+        if corruption == "garbage":
+            sidecar.write_bytes(b"\x00not an npz")
+        elif corruption == "truncated":
+            sidecar.write_bytes(sidecar.read_bytes()[: sidecar.stat().st_size // 2])
+        else:
+            sidecar.unlink()
+        assert cache.get(task.cache_key) is None
+        assert not cache._path(task.cache_key).exists()  # manifest evicted too
+        retry = BatchRunner(workers=0, cache=cache).run([task])
+        assert retry.report.executed == 1
+        assert retry.results == first.results
+
+    def test_columnar_results_identical_across_worker_pool(self, tmp_path):
+        tasks = [scenario_task(s) for s in ALL_TOPOLOGY_SCENARIOS[:4]]
+        serial = BatchRunner(workers=0).run(tasks)
+        pooled = BatchRunner(workers=2).run(tasks)
+        assert pooled.results == serial.results

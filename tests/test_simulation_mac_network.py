@@ -311,3 +311,53 @@ class TestOpenLoopTrafficWakeup:
             delivered = result.packets_delivered(src, dst)
             offered = net.nodes[src].traffic.packets_offered
             assert delivered > 0.9 * offered, f"{src}->{dst} stalled"
+
+
+class TestBatchedChildSeeds:
+    """Network construction draws child seeds in vectorized blocks; the
+    sequence must stay bit-identical to the historical one-scalar-draw-per-
+    child stream (so every seeded result in the repo is unchanged)."""
+
+    def test_batched_draws_match_scalar_reference_stream(self):
+        reference = np.random.default_rng(123)
+        expected = [int(reference.integers(0, 2**63 - 1)) for _ in range(600)]
+        net = WirelessNetwork(channel=make_channel(), seed=123)
+        drawn = [net._next_child_seed() for _ in range(600)]
+        assert drawn == expected
+
+    def test_batched_draws_span_refills(self):
+        batch = WirelessNetwork._SEED_BATCH
+        reference = np.random.default_rng(9)
+        expected = [int(reference.integers(0, 2**63 - 1)) for _ in range(2 * batch + 3)]
+        net = WirelessNetwork(channel=make_channel(), seed=9)
+        drawn = [net._next_child_seed() for _ in range(2 * batch + 3)]
+        assert drawn == expected
+
+    def test_child_rngs_seeded_from_the_stream(self):
+        reference = np.random.default_rng(7)
+        first_seed = int(reference.integers(0, 2**63 - 1))
+        net = WirelessNetwork(channel=make_channel(), seed=7)
+        child = net._child_rng()
+        assert child.bit_generator.seed_seq.entropy == first_seed
+
+    def test_network_results_deterministic_across_constructions(self):
+        def run_once():
+            net = two_pair_network(sender_gap_m=30.0, seed=11)
+            result = net.run(0.3)
+            return (
+                result.link("S1", "R1").packets_per_second,
+                result.link("S2", "R2").packets_per_second,
+            )
+
+        assert run_once() == run_once()
+
+    def test_tdma_schedule_ignored_for_non_tdma_macs(self):
+        """Callers pass one network-wide schedule to every add_node; it must
+        stay a no-op for csma nodes (regression: the registry refactor
+        briefly forwarded it into the csma factory)."""
+        schedule = TdmaSchedule(slot_duration_s=0.02, slot_owners=("S", "R"))
+        net = WirelessNetwork(channel=make_channel(), seed=4)
+        net.add_node("S", (0, 0), mac="csma", tdma_schedule=schedule,
+                     traffic=SaturatedTraffic("R"))
+        net.add_node("R", (8, 0), mac="csma", tdma_schedule=schedule)
+        assert net.run(0.2).link("S", "R").packets_per_second > 0
