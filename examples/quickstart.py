@@ -1,59 +1,64 @@
-"""Quickstart: how good is carrier sense for a network like yours?
+"""Quickstart: the declarative Experiment API in a few lines.
 
-This example walks through the library's main entry points in a few lines:
+This example walks through the library's front door:
 
-1. describe a two-pair contention scenario in the paper's normalised units;
-2. compute the expected throughput of every MAC policy (multiplexing,
-   concurrency, carrier sense, and the optimal oracle);
-3. find the throughput-optimal carrier-sense threshold and classify the
-   network's regime (short / intermediate / long range);
-4. check how much a factory-default threshold loses compared to the tuned one.
+1. discover the registered paper harnesses (ids, tags, typed parameters);
+2. run one with parameter overrides, getting a typed ``Artifact`` back;
+3. read its scalars/tables, save it to disk, and reload it bit-for-bit;
+4. drop down to the analytical core for a one-off "how good is carrier
+   sense for a network like yours?" calculation.
 
 Run it with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
+import repro.experiments  # noqa: F401 -- registers the builtin experiments
+from repro.api import EXPERIMENTS, Artifact
 from repro.constants import DEFAULT_DTHRESHOLD, DEFAULT_NOISE_RATIO
-from repro.core import (
-    Scenario,
-    average_policies,
-    classify_regime,
-    optimal_threshold,
-)
+from repro.core import Scenario, average_policies, classify_regime, optimal_threshold
 
 
 def main() -> None:
-    # An 802.11-like network: receivers within Rmax = 40 of their senders
-    # (roughly 17 dB SNR at the network edge), a competing sender 55 distance
-    # units away, indoor propagation (alpha = 3, 8 dB shadowing).
+    # 1. Discovery: every paper harness is a tagged, typed Experiment.
+    analytical = [
+        name for name in EXPERIMENTS if "analytical" in EXPERIMENTS[name].tags
+    ]
+    print(f"{len(EXPERIMENTS)} experiments registered; analytical: {analytical}")
+
+    table1 = EXPERIMENTS["table-1"]
+    print(f"\n{table1.id}: {table1.title}")
+    print("  parameters:", ", ".join(p.name for p in table1.params))
+
+    # 2. Run with typed overrides (strings coerce through the spec, so CLI
+    #    `--set n_samples=5000` and Python `n_samples=5000` are the same).
+    artifact = table1.run(n_samples=5000)
+    print(f"\nminimum efficiency: {artifact.scalars['minimum_efficiency_percent']:.1f}%"
+          " of the optimal MAC (paper: carrier sense is within ~17% everywhere)")
+
+    # 3. Artifacts persist as a JSON manifest plus .npz sidecars and reload
+    #    exactly.
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "table-1"
+        artifact.save(out)
+        reloaded = Artifact.load(out)
+        print(f"saved -> {out.name}/manifest.json; reload identical: {reloaded == artifact}")
+
+    # 4. The analytical core underneath, for a single deployment question:
+    #    an 802.11-like network with receivers within Rmax = 40 of their
+    #    senders and a competing sender 55 units away.
     scenario = Scenario(rmax=40.0, d=55.0, alpha=3.0, sigma_db=8.0)
-
-    print("Scenario:", scenario)
-    print(f"Edge-of-network SNR: {scenario.edge_snr_db:.1f} dB")
-    print()
-
-    # Expected per-sender throughput under each policy, with the paper's
-    # recommended factory threshold (Dthresh = 55).
     averages = average_policies(scenario, d_threshold=DEFAULT_DTHRESHOLD)
-    print("Expected per-sender spectral efficiency (bit/s/Hz):")
-    for name, value in averages.as_dict().items():
-        print(f"  {name:>14}: {value:.3f}")
-    print(f"  carrier sense achieves {100 * averages.cs_efficiency:.1f}% of the optimal MAC")
-    print()
-
-    # How much would a per-deployment tuned threshold buy?
     tuned = optimal_threshold(scenario.rmax, scenario.alpha, DEFAULT_NOISE_RATIO, sigma_db=0.0)
-    tuned_averages = average_policies(scenario, d_threshold=tuned)
     regime = classify_regime(scenario.rmax, tuned)
-    print(f"Throughput-optimal threshold distance: {tuned:.0f}  (network regime: {regime})")
-    print(
-        "Tuning the threshold changes carrier-sense throughput by "
-        f"{100 * (tuned_averages.carrier_sense / averages.carrier_sense - 1):+.1f}% "
-        "versus the factory default -- the paper's robustness claim."
-    )
+    print(f"\nTwo-pair scenario {scenario}:")
+    print(f"  carrier sense achieves {100 * averages.cs_efficiency:.1f}% of optimal "
+          f"(tuned threshold {tuned:.0f}, regime: {regime})")
 
 
 if __name__ == "__main__":

@@ -12,13 +12,15 @@ The package is organised as:
   (CSMA/CA, TDMA, no-CS concurrency, RTS/CTS) used as the testbed substrate.
 * :mod:`repro.testbed`     -- synthetic indoor testbed and the Section 4/5
   experiment protocols.
-* :mod:`repro.experiments` -- one harness per paper table/figure.
+* :mod:`repro.experiments` -- one harness per paper table/figure, each
+  registered as a declarative :class:`~repro.api.Experiment`.
 * :mod:`repro.scenarios` / :mod:`repro.runner` -- declarative whole-network
   scenarios and the parallel cached batch runner underneath them.
 * :mod:`repro.results`     -- the typed columnar :class:`ResultSet` that
   scenario runs produce and sweeps aggregate.
-* :mod:`repro.api`         -- the fluent :class:`Study` sweep facade plus
-  the topology/MAC/traffic extension registries.
+* :mod:`repro.api`         -- the fluent :class:`Study` sweep facade, the
+  declarative :class:`Experiment`/:class:`Artifact` layer, and the
+  topology/MAC/traffic/experiment extension registries.
 
 Typical entry points::
 
@@ -28,6 +30,10 @@ Typical entry points::
 
     from repro.api import Study
     results = Study(topology="scale_free", n_nodes=50).seeds(5).run().results()
+
+    import repro.experiments                  # registers the builtin harnesses
+    from repro.api import EXPERIMENTS
+    artifact = EXPERIMENTS["table-1"].run(n_samples=5000)
 """
 
 from . import constants, units

@@ -17,13 +17,29 @@ This is the front door for running the reproduction at scale::
   warm-group dispatch handled behind the facade.
 * :class:`ResultSet` -- the typed columnar result container (re-exported
   from :mod:`repro.results`).
+* :class:`Experiment` / :class:`Artifact` -- declarative paper harnesses
+  with typed parameters and persistable typed outputs, registered in the
+  shared :data:`EXPERIMENTS` registry (see :mod:`repro.api.experiment`;
+  import :mod:`repro.experiments` to register the builtin harnesses).
 * :mod:`repro.api.registry` -- the string registries (topologies, MACs,
-  traffic models) through which new workloads plug in without touching
-  :class:`~repro.scenarios.Scenario` internals.
+  traffic models, experiments) through which new workloads plug in without
+  touching :class:`~repro.scenarios.Scenario` internals.
 """
 
 from ..results import ResultSet
 from . import registry
+from .experiment import EXPERIMENTS, Artifact, Experiment, Param, experiment
 from .study import Study, StudyResult, placement_seed
 
-__all__ = ["ResultSet", "Study", "StudyResult", "placement_seed", "registry"]
+__all__ = [
+    "ResultSet",
+    "Study",
+    "StudyResult",
+    "placement_seed",
+    "registry",
+    "Artifact",
+    "Experiment",
+    "Param",
+    "EXPERIMENTS",
+    "experiment",
+]

@@ -1,8 +1,10 @@
 """Public face of the extension registries.
 
-Importing this module guarantees the builtin entries are registered (the
-scenario import pulls in the topology, traffic, and MAC builtins), so
-``repro.api.registry.MACS.names()`` is always fully populated.
+Importing this module guarantees the builtin topology/traffic/MAC entries
+are registered (the scenario import pulls them in), so
+``repro.api.registry.MACS.names()`` is always fully populated.  The builtin
+*experiments* register when :mod:`repro.experiments` is imported (that
+package depends on this one, so the pull cannot go the other way).
 
 Plug in a new workload without touching ``Scenario`` internals::
 
@@ -21,6 +23,6 @@ Plug in a new workload without touching ``Scenario`` internals::
 """
 
 from .. import scenarios as _scenarios  # noqa: F401 -- registers the builtins
-from ..registry import MACS, Registry, TOPOLOGIES, TRAFFIC_MODELS
+from ..registry import EXPERIMENTS, MACS, Registry, TOPOLOGIES, TRAFFIC_MODELS
 
-__all__ = ["Registry", "TOPOLOGIES", "MACS", "TRAFFIC_MODELS"]
+__all__ = ["Registry", "TOPOLOGIES", "MACS", "TRAFFIC_MODELS", "EXPERIMENTS"]

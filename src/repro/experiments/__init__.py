@@ -1,11 +1,20 @@
 """Experiment harnesses: one module per paper table / figure, plus ablations.
 
-Each module exposes ``run(...) -> ExperimentResult`` and can be executed as a
-script (``python -m repro.experiments.table1_fixed_threshold``).  The mapping
-from paper artefacts to modules is recorded in DESIGN.md; EXPERIMENTS.md
-collects paper-versus-measured numbers produced by these harnesses.
+Each module exposes ``run(...) -> ExperimentResult`` (the computational
+body, runnable as a script: ``python -m repro.experiments.table1_fixed_threshold``)
+and registers a declarative :class:`repro.api.Experiment` -- id, title,
+tags, typed parameter spec -- in the shared
+:data:`repro.api.EXPERIMENTS` registry.  The registry is what the
+``python -m repro.experiments`` CLI, discovery, and the artifact
+persistence layer operate on; plugin experiments registered with
+:func:`repro.api.experiment` appear there exactly like the builtins.
+
+The mapping from paper artefacts to modules is recorded in DESIGN.md;
+EXPERIMENTS.md collects paper-versus-measured numbers produced by these
+harnesses.
 """
 
+from ..api.experiment import EXPERIMENTS
 from . import (
     ablation_fixed_bitrate,
     ablation_noise_floor,
@@ -16,6 +25,7 @@ from . import (
     figure07_optimal_threshold,
     figure09_shadowing,
     figure14_propagation_fit,
+    run_scenarios,
     section34_mistake_probability,
     section5_exposed_terminals,
     table1_fixed_threshold,
@@ -24,24 +34,31 @@ from . import (
 )
 from .base import ExperimentResult
 
-#: Registry of experiment ids to their run() callables, used by the runner
-#: script and by EXPERIMENTS.md generation.
-REGISTRY = {
-    "figure-02": figure02_landscape.run,
-    "figure-03": figure03_preferences.run,
-    "figure-04": figure04_curves.run,
-    "figure-05-06": figure05_06_threshold_regions.run,
-    "figure-07": figure07_optimal_threshold.run,
-    "figure-09": figure09_shadowing.run,
-    "table-1": table1_fixed_threshold.run,
-    "table-2": table2_tuned_threshold.run,
-    "section-3.4": section34_mistake_probability.run,
-    "figures-10-11": lambda **kwargs: testbed_section4.run(link_class="short", **kwargs),
-    "figures-12-13": lambda **kwargs: testbed_section4.run(link_class="long", **kwargs),
-    "section-5": section5_exposed_terminals.run,
-    "figure-14": figure14_propagation_fit.run,
-    "ablation-noise-floor": ablation_noise_floor.run,
-    "ablation-fixed-bitrate": ablation_fixed_bitrate.run,
-}
+#: The historical listing order of the per-figure/per-table harnesses
+#: (``run-scenarios`` is registered too but runs through its own sweep
+#: grammar, so the legacy registry and ``--all`` exclude it).
+_LEGACY_ORDER = (
+    "figure-02",
+    "figure-03",
+    "figure-04",
+    "figure-05-06",
+    "figure-07",
+    "figure-09",
+    "table-1",
+    "table-2",
+    "section-3.4",
+    "figures-10-11",
+    "figures-12-13",
+    "section-5",
+    "figure-14",
+    "ablation-noise-floor",
+    "ablation-fixed-bitrate",
+)
 
-__all__ = ["ExperimentResult", "REGISTRY"]
+#: Legacy registry of experiment ids to ``run()``-style callables returning
+#: an :class:`ExperimentResult` -- the pre-Experiment API, kept for old
+#: callers.  New code should use :data:`EXPERIMENTS` (typed params,
+#: artifact outputs, tags) instead.
+REGISTRY = {name: EXPERIMENTS[name].legacy_run for name in _LEGACY_ORDER}
+
+__all__ = ["ExperimentResult", "REGISTRY", "EXPERIMENTS"]

@@ -16,6 +16,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from ..api.experiment import experiment
 from ..constants import (
     DEFAULT_DTHRESHOLD,
     DEFAULT_NOISE_RATIO,
@@ -28,7 +29,7 @@ from ..units import db_to_linear
 from .base import ExperimentResult
 from .table1_fixed_threshold import run as run_table1
 
-__all__ = ["run", "fixed_rate_efficiency"]
+__all__ = ["run", "fixed_rate_efficiency", "EXPERIMENT"]
 
 EXPERIMENT_ID = "ablation-fixed-bitrate"
 
@@ -121,6 +122,14 @@ def run(
         "terminal concerns are legitimate."
     )
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "Fixed-bitrate ablation of the Table 1 grid",
+    run,
+    tags=("analytical", "ablation"),
+)
 
 
 def main() -> None:

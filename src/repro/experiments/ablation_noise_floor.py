@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
+from ..api.experiment import experiment
 from ..constants import DEFAULT_NOISE_RATIO, DEFAULT_PATH_LOSS_EXPONENT
 from ..core.thresholds import classify_regime, optimal_threshold, short_range_threshold_approx
 from .base import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "EXPERIMENT"]
 
 EXPERIMENT_ID = "ablation-noise-floor"
 
@@ -49,6 +50,14 @@ def run(
         "-- and with it the fairness discussion -- disappears."
     )
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "Dropping the noise floor hides the long-range regime",
+    run,
+    tags=("analytical", "ablation"),
+)
 
 
 def main() -> None:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..api import Study
+from ..api.experiment import _format_value
 from ..runner import BatchReport, ResultCache
 
 __all__ = ["ExperimentResult", "format_table", "run_subtasks", "default_cache_dir"]
@@ -88,14 +89,6 @@ class ExperimentResult:
             lines.append("notes:")
             lines.extend(f"  - {note}" for note in self.notes)
         return "\n".join(lines)
-
-
-def _format_value(value: Any) -> str:
-    if isinstance(value, float):
-        return f"{value:.4g}"
-    if isinstance(value, (list, tuple)) and value and isinstance(value[0], float):
-        return "[" + ", ".join(f"{v:.4g}" for v in value) + "]"
-    return str(value)
 
 
 def format_table(

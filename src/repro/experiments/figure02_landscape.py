@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..api.experiment import experiment
 from ..constants import DEFAULT_NOISE_RATIO, DEFAULT_PATH_LOSS_EXPONENT
 from ..core.landscape import capacity_map
 from .base import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "EXPERIMENT"]
 
 EXPERIMENT_ID = "figure-02"
 
@@ -67,6 +68,14 @@ def run(
     )
     result.data["maps_available"] = ["single", "multiplexing"] + [f"concurrency D={d:g}" for d in d_values]
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "Capacity landscape Ci(r, theta)",
+    run,
+    tags=("analytical",),
+)
 
 
 def main() -> None:

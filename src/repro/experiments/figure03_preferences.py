@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
+from ..api.experiment import experiment
 from ..constants import DEFAULT_NOISE_RATIO, DEFAULT_PATH_LOSS_EXPONENT
 from ..core.preferences import preference_fractions
 from .base import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "EXPERIMENT"]
 
 EXPERIMENT_ID = "figure-03"
 
@@ -51,6 +52,14 @@ def run(
         "concurrency for compact networks; D=55 splits receivers roughly in half."
     )
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "Receiver preference regions",
+    run,
+    tags=("analytical",),
+)
 
 
 def main() -> None:

@@ -21,13 +21,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..api import Study
+from ..api.experiment import experiment
 from ..constants import DEFAULT_NOISE_RATIO, DEFAULT_PATH_LOSS_EXPONENT
 from ..core.averaging import throughput_curves
 from ..core.thresholds import optimal_threshold
 from ..runner import ResultCache
 from .base import ExperimentResult
 
-__all__ = ["run", "curve_task"]
+__all__ = ["run", "curve_task", "EXPERIMENT"]
 
 EXPERIMENT_ID = "figure-04"
 
@@ -99,6 +100,15 @@ def run(
     )
     result.add_note(f"runner: {report.summary()}")
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "Average MAC throughput vs D (sigma = 0)",
+    run,
+    tags=("analytical",),
+    series_keys=("curves",),
+)
 
 
 def main() -> None:

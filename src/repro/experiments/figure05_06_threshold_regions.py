@@ -18,12 +18,13 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from ..api.experiment import experiment
 from ..constants import DEFAULT_NOISE_RATIO, DEFAULT_PATH_LOSS_EXPONENT
 from ..core.averaging import throughput_curves
 from ..core.thresholds import optimal_threshold
 from .base import ExperimentResult
 
-__all__ = ["run", "inefficiency_areas"]
+__all__ = ["run", "inefficiency_areas", "EXPERIMENT"]
 
 EXPERIMENT_ID = "figure-05-06"
 
@@ -85,6 +86,14 @@ def run(
         "the corresponding side; the crossing-point threshold minimises the total."
     )
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "Carrier-sense threshold choice and inefficiency regions (Rmax = 55)",
+    run,
+    tags=("analytical",),
+)
 
 
 def main() -> None:

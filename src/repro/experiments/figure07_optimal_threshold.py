@@ -18,6 +18,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from ..api.experiment import experiment
 from ..constants import DEFAULT_NOISE_RATIO
 from ..core.thresholds import (
     classify_regime,
@@ -26,7 +27,7 @@ from ..core.thresholds import (
 )
 from .base import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "EXPERIMENT"]
 
 EXPERIMENT_ID = "figure-07"
 
@@ -77,6 +78,15 @@ def run(
         "10-25 dB 'sweet spot' where commodity hardware operates."
     )
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "Optimal threshold vs network radius",
+    run,
+    tags=("analytical",),
+    series_keys=("curves",),
+)
 
 
 def main() -> None:

@@ -18,12 +18,13 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from ..api.experiment import experiment
 from ..constants import DEFAULT_NOISE_RATIO, DEFAULT_PATH_LOSS_EXPONENT
 from ..core.shadowing_model import shadowing_capacity_gain, shadowing_comparison_curves
 from ..core.thresholds import optimal_threshold
 from .base import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "EXPERIMENT"]
 
 EXPERIMENT_ID = "figure-09"
 
@@ -64,6 +65,15 @@ def run(
         "benefits from the capacity convexity under dB-symmetric variation."
     )
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "Average MAC throughput with 8 dB shadowing",
+    run,
+    tags=("analytical",),
+    series_keys=("curves",),
+)
 
 
 def main() -> None:

@@ -13,13 +13,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..api.experiment import experiment
 from ..constants import FREQ_2_4_GHZ
 from ..propagation.fitting import fit_path_loss_shadowing
 from ..testbed.layout import TestbedLayout, generate_office_layout
 from ..testbed.measurement import rssi_survey
 from .base import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "EXPERIMENT"]
 
 EXPERIMENT_ID = "figure-14"
 
@@ -70,6 +71,15 @@ def run(
         "for its real testbed."
     )
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "Path-loss / shadowing maximum-likelihood fit",
+    run,
+    tags=("analytical", "testbed"),
+    exclude_params=("layout",),
+)
 
 
 def main() -> None:

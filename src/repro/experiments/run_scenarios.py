@@ -22,12 +22,15 @@ import sys
 from typing import Any, Dict, List, Optional
 
 from ..api import Study
+from ..api.experiment import experiment
 from ..runner import ResultCache
 from ..scenarios import TOPOLOGIES, Scenario
 from ..simulation.medium import DEFAULT_DETECTABILITY_MARGIN_DB
 from .base import ExperimentResult, default_cache_dir
 
-__all__ = ["main", "build_study", "build_scenarios"]
+__all__ = ["main", "run", "build_study", "build_scenarios", "EXPERIMENT"]
+
+EXPERIMENT_ID = "run-scenarios"
 
 
 def _parse_optional_float(value: str) -> Optional[float]:
@@ -148,8 +151,8 @@ def build_scenarios(args: argparse.Namespace) -> List[Scenario]:
     return scenarios
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _sweep_result(args: argparse.Namespace, progress=None) -> ExperimentResult:
+    """Execute the sweep described by parsed arguments into an ExperimentResult."""
     scenarios = build_scenarios(args)
 
     cache = None
@@ -158,26 +161,119 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Warm-group dispatch comes with the Study facade: grid points sharing a
     # (topology, propagation) fingerprint travel in the same chunks so warm
     # worker pools rebuild the expensive network state once per group.
-    run = (
+    study_run = (
         Study.of(scenarios)
         .cache(cache)
         .force(args.force)
-        .run(
-            workers=args.workers,
-            progress=lambda message: print(message, file=sys.stderr),
-        )
+        .run(workers=args.workers, progress=progress)
     )
 
-    result = ExperimentResult("run-scenarios", "Scenario sweep")
-    result.data["sweep"] = run.aggregate()
+    result = ExperimentResult(EXPERIMENT_ID, "Scenario sweep")
+    result.data["sweep"] = study_run.aggregate()
+    # The whole sweep as one typed columnar ResultSet: the artifact path
+    # persists it as an .npz sidecar; the text path prints its short repr.
+    result.data["results"] = study_run.results()
     if args.verbose:
         result.data["scenarios"] = {
             r["name"]: f"{r['total_pps']:.0f} pkt/s over {r['n_flows']} flows"
-            for r in run.summaries()
+            for r in study_run.summaries()
         }
-    result.add_note(f"runner: {run.report.summary()}")
+    result.add_note(f"runner: {study_run.report.summary()}")
     if cache is not None:
         result.add_note(f"cache: {(args.cache_dir or default_cache_dir())!s}")
+    return result
+
+
+def _string_list(value) -> Optional[List[str]]:
+    """Normalise a scalar-or-sequence of names to a list of strings.
+
+    Comma-splitting of topology chunks happens downstream in
+    :func:`build_study`, exactly as for CLI-parsed arguments.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = [value]
+    return [str(item) for item in value]
+
+
+def _value_list(value) -> Optional[List[Any]]:
+    if value is None:
+        return None
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+def run(
+    topology: Any = "uniform_disc",
+    nodes: Any = (10,),
+    extent: Any = (120.0,),
+    sigma: Any = (0.0,),
+    cca: Any = (-82.0,),
+    rate: float = 6.0,
+    prune_margin: Optional[float] = DEFAULT_DETECTABILITY_MARGIN_DB,
+    cca_noise: float = 2.0,
+    mac: str = "csma",
+    traffic: str = "saturated",
+    load: float = 200.0,
+    duration: float = 0.5,
+    seeds: int = 1,
+    base_seed: int = 0,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    no_cache: bool = False,
+    force: bool = False,
+    verbose: bool = False,
+) -> ExperimentResult:
+    """Programmatic form of the CLI sweep (axes accept scalars or sequences).
+
+    This is the body behind the registered ``run-scenarios`` experiment:
+    the same grid expansion, placement-stable seeding, caching, and
+    warm-group dispatch as the command line, returning the
+    :class:`ExperimentResult` instead of printing it.
+    """
+    args = argparse.Namespace(
+        topology=_string_list(topology),
+        nodes=None if nodes is None else [int(n) for n in _value_list(nodes)],
+        extent=None if extent is None else [float(e) for e in _value_list(extent)],
+        sigma=None if sigma is None else [float(s) for s in _value_list(sigma)],
+        cca=None if cca is None else [
+            _parse_optional_float(c) if isinstance(c, str)
+            else (None if c is None else float(c))
+            for c in _value_list(cca)
+        ],
+        rate=float(rate),
+        prune_margin=None if prune_margin is None else float(prune_margin),
+        cca_noise=float(cca_noise),
+        mac=mac,
+        traffic=traffic,
+        load=float(load),
+        duration=float(duration),
+        seeds=int(seeds),
+        base_seed=int(base_seed),
+        workers=int(workers),
+        cache_dir=cache_dir,
+        no_cache=bool(no_cache),
+        force=bool(force),
+        verbose=bool(verbose),
+    )
+    return _sweep_result(args)
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "Scenario sweep through the parallel batch runner",
+    run,
+    tags=("packet-level", "sweep"),
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    result = _sweep_result(
+        args, progress=lambda message: print(message, file=sys.stderr)
+    )
     print(result.summary())
     return 0
 

@@ -10,6 +10,7 @@ configurations with very poor SNR.
 
 from __future__ import annotations
 
+from ..api.experiment import experiment
 from ..constants import DEFAULT_NOISE_RATIO, DEFAULT_PATH_LOSS_EXPONENT
 from ..core.shadowing_model import (
     mistake_analysis,
@@ -18,7 +19,7 @@ from ..core.shadowing_model import (
 )
 from .base import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["run", "EXPERIMENT"]
 
 EXPERIMENT_ID = "section-3.4"
 
@@ -66,6 +67,14 @@ def run(
         "matching the paper's ~4% estimate."
     )
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "Shadowing-induced carrier-sense mistakes",
+    run,
+    tags=("analytical",),
+)
 
 
 def main() -> None:

@@ -24,6 +24,7 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..api import Study
+from ..api.experiment import experiment
 from ..runner import ResultCache
 from ..testbed.exposed import exposed_terminal_study
 from ..testbed.experiment import PairExperimentResult, RateRunDetail, TestbedExperiment
@@ -31,7 +32,7 @@ from ..testbed.layout import TestbedLayout, generate_office_layout
 from ..testbed.pairs import CompetingPairs, select_competing_pairs
 from .base import ExperimentResult
 
-__all__ = ["run", "pair_task", "PAPER_SECTION5"]
+__all__ = ["run", "pair_task", "PAPER_SECTION5", "EXPERIMENT"]
 
 EXPERIMENT_ID = "section-5"
 
@@ -151,6 +152,15 @@ def run(
     result.add_note(f"runner: {runner_note}")
     result.data["study"] = study
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "Exposed terminals vs bitrate adaptation",
+    run,
+    tags=("packet-level", "testbed", "slow"),
+    exclude_params=("layout",),
+)
 
 
 def main() -> None:

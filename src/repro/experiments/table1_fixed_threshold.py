@@ -22,10 +22,11 @@ from ..constants import (
     TABLE_D_VALUES,
     TABLE_RMAX_VALUES,
 )
+from ..api.experiment import experiment
 from ..core.efficiency import fixed_threshold_table
 from .base import ExperimentResult, format_table
 
-__all__ = ["run", "PAPER_TABLE1_PERCENT"]
+__all__ = ["run", "PAPER_TABLE1_PERCENT", "EXPERIMENT"]
 
 EXPERIMENT_ID = "table-1"
 
@@ -70,6 +71,14 @@ def run(
         "sits in the transition column (D = 55) and the long-range row (Rmax = 120)."
     )
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "CS efficiency, fixed Dthresh = 55",
+    run,
+    tags=("analytical",),
+)
 
 
 def main() -> None:

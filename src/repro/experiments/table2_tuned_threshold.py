@@ -25,11 +25,12 @@ from ..constants import (
     TABLE_D_VALUES,
     TABLE_RMAX_VALUES,
 )
+from ..api.experiment import experiment
 from ..core.efficiency import tuned_threshold_table
 from .base import ExperimentResult, format_table
 from .table1_fixed_threshold import run as run_table1
 
-__all__ = ["run", "PAPER_TABLE2_PERCENT", "PAPER_TABLE2_THRESHOLDS"]
+__all__ = ["run", "PAPER_TABLE2_PERCENT", "PAPER_TABLE2_THRESHOLDS", "EXPERIMENT"]
 
 EXPERIMENT_ID = "table-2"
 
@@ -99,6 +100,14 @@ def run(
             "paper's robustness claim."
         )
     return result
+
+
+EXPERIMENT = experiment(
+    EXPERIMENT_ID,
+    "CS efficiency, per-scenario tuned thresholds",
+    run,
+    tags=("analytical",),
+)
 
 
 def main() -> None:

@@ -24,12 +24,19 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..api.experiment import experiment
 from ..testbed.experiment import CampaignSummary, TestbedExperiment
 from ..testbed.layout import TestbedLayout, generate_office_layout
 from ..testbed.pairs import select_competing_pairs
 from .base import ExperimentResult
 
-__all__ = ["run", "PAPER_SHORT_RANGE", "PAPER_LONG_RANGE"]
+__all__ = [
+    "run",
+    "PAPER_SHORT_RANGE",
+    "PAPER_LONG_RANGE",
+    "EXPERIMENT_SHORT",
+    "EXPERIMENT_LONG",
+]
 
 EXPERIMENT_ID = "figures-10-13"
 
@@ -116,6 +123,27 @@ def run(
     )
     result.data["campaign"] = summary
     return result
+
+
+EXPERIMENT_SHORT = experiment(
+    "figures-10-11",
+    "Section 4 testbed campaign (short range)",
+    run,
+    tags=("packet-level", "testbed", "slow"),
+    exclude_params=("layout",),
+    defaults={"link_class": "short"},
+    series_keys=("scatter",),
+)
+
+EXPERIMENT_LONG = experiment(
+    "figures-12-13",
+    "Section 4 testbed campaign (long range)",
+    run,
+    tags=("packet-level", "testbed", "slow"),
+    exclude_params=("layout",),
+    defaults={"link_class": "long"},
+    series_keys=("scatter",),
+)
 
 
 def main() -> None:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, Optional
 
-__all__ = ["Registry", "TOPOLOGIES", "MACS", "TRAFFIC_MODELS"]
+__all__ = ["Registry", "TOPOLOGIES", "MACS", "TRAFFIC_MODELS", "EXPERIMENTS"]
 
 
 class Registry:
@@ -83,6 +83,10 @@ class Registry:
     def names(self) -> tuple:
         return tuple(self._entries)
 
+    def items(self) -> tuple:
+        """(name, factory) pairs in registration order."""
+        return tuple(self._entries.items())
+
     def __getitem__(self, name: str) -> Callable[..., Any]:
         return self.get(name)
 
@@ -107,3 +111,9 @@ MACS = Registry("mac")
 
 #: Traffic-source factories (builtins registered by :mod:`repro.scenarios.spec`).
 TRAFFIC_MODELS = Registry("traffic model")
+
+#: Experiment harnesses (:class:`repro.api.experiment.Experiment` objects;
+#: builtins registered by the :mod:`repro.experiments` modules).  Plugin
+#: experiments register the same way as plugin topologies/MACs and appear in
+#: the ``python -m repro.experiments`` CLI automatically.
+EXPERIMENTS = Registry("experiment")

@@ -258,12 +258,13 @@ class Scenario:
         """Run the scenario and return a typed columnar :class:`ResultSet`.
 
         The set holds one flow row per directed flow (delivered/offered
-        throughput and packet counts, loss fraction; the ``delay_s`` column
-        is reserved -- the MACs do not timestamp frames yet) plus one
-        scenario-index entry carrying exactly the summary scalars the legacy
-        dict did.  Dict consumers keep working: single-scenario subscripting
-        (``result["total_pps"]``) and :meth:`ResultSet.to_flow_dicts` expose
-        the historical encoding unchanged.
+        throughput and packet counts, loss fraction, and mean MAC
+        enqueue-to-delivery delay from the receivers' frame timestamps) plus
+        one scenario-index entry carrying exactly the summary scalars the
+        legacy dict did.  Dict consumers keep working: single-scenario
+        subscripting (``result["total_pps"]``) and
+        :meth:`ResultSet.to_flow_dicts` expose the historical encoding
+        unchanged.
         """
         net, placement = self.build_network(warm)
         outcome = net.run(self.duration_s)
@@ -272,6 +273,7 @@ class Scenario:
         delivered_packets = np.empty(len(placement.flows), dtype=np.int64)
         offered_packets = np.empty(len(placement.flows), dtype=np.int64)
         sent_packets = np.empty(len(placement.flows), dtype=np.int64)
+        delay_s = np.empty(len(placement.flows), dtype=np.float64)
         for row, (src, dst) in enumerate(placement.flows):
             pps = outcome.link(src, dst).packets_per_second
             flow_rates.append(pps)
@@ -280,6 +282,7 @@ class Scenario:
             traffic = net.nodes[src].traffic
             offered_packets[row] = getattr(traffic, "packets_offered", -1)
             sent_packets[row] = getattr(traffic, "packets_sent", -1)
+            delay_s[row] = net.nodes[dst].stats.mean_delay_from(src)
         offered_pps = np.where(
             offered_packets >= 0, offered_packets / self.duration_s, np.nan
         )
@@ -306,6 +309,7 @@ class Scenario:
             delivered_pps=delivered_pps,
             offered_pps=offered_pps,
             loss_frac=loss_frac,
+            delay_s=delay_s,
             delivered_packets=delivered_packets,
             offered_packets=offered_packets,
             sent_packets=sent_packets,

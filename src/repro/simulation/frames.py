@@ -48,6 +48,13 @@ class Frame:
         Globally unique identifier.
     retry:
         Retry count of this transmission attempt.
+    enqueued_at:
+        Simulation time at which the MAC pulled the packet from its traffic
+        source (-1.0 when untimestamped, e.g. control frames).  Retries keep
+        the original timestamp, so receiver-side delay measures the full
+        enqueue-to-delivery latency.  Excluded from equality/repr: two
+        frames carrying the same payload at different times still compare
+        equal, as before the column existed.
     airtime_s:
         On-air duration at the frame's PHY rate, computed once at
         construction (the radio, medium, and MAC all read it repeatedly on
@@ -62,6 +69,7 @@ class Frame:
     sequence: int = 0
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
     retry: int = 0
+    enqueued_at: float = field(default=-1.0, repr=False, compare=False)
     airtime_s: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -86,4 +94,5 @@ class Frame:
             rate=self.rate,
             sequence=self.sequence,
             retry=self.retry + 1,
+            enqueued_at=self.enqueued_at,
         )

@@ -164,6 +164,7 @@ class CsmaMac(MacBase):
             payload_bytes=payload_bytes,
             rate=rate,
             sequence=self.next_sequence(),
+            enqueued_at=self.sim.now,
         )
 
     # ------------------------------------------------------------------ access

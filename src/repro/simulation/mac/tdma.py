@@ -136,6 +136,7 @@ class TdmaMac(MacBase):
             payload_bytes=payload_bytes,
             rate=rate,
             sequence=self.next_sequence(),
+            enqueued_at=self.sim.now,
         )
 
     def _in_own_slot(self) -> bool:

@@ -13,11 +13,13 @@ Fanning every frame out to all N radios makes per-transmission cost O(N)
 *Python calls*, which caps simulations at a few hundred nodes.  Instead the
 medium is *finalised* once the topology is complete: the full N x N
 received-power matrix is computed in one vectorized pass through the
-:class:`~repro.propagation.channel.ChannelModel`, and each sender gets a
-pruned notification list containing only the radios whose received power
-exceeds a detectability floor (the noise floor minus
-``detectability_margin_db``; with the default margin of 16 dB and the
-default noise floor this lands at about -110 dBm).
+:class:`~repro.propagation.channel.ChannelModel`.  Each sender's pruned
+notification list -- only the radios whose received power exceeds a
+detectability floor (the noise floor minus ``detectability_margin_db``;
+with the default margin of 16 dB and the default noise floor this lands at
+about -110 dBm) -- is then built lazily on its first transmission, so the
+O(N * degree) Python tuple packing is paid only for nodes that actually
+send.
 
 Power below that floor can never be locked onto (it is far under preamble
 sensitivity) -- it only ever matters as summed background energy.  So
@@ -140,13 +142,19 @@ class Medium:
         self._rx_dbm_matrix: Optional[np.ndarray] = None
         self._rx_mw_matrix: Optional[np.ndarray] = None
         # Per-sender notification table: (radio, power_mw, power_dbm) per
-        # audible receiver.  The dBm value is precomputed at finalisation so
-        # the per-frame deliver path never converts units.
-        self._notify: List[List[Tuple["Radio", float, float]]] = []
+        # audible receiver.  The dBm value is precomputed when the row is
+        # built so the per-frame deliver path never converts units.  Rows
+        # are built *lazily*, on a sender's first transmission: finalisation
+        # computes only the vectorized N x N matrices, and the Python-level
+        # tuple packing -- the O(N * degree) part -- is paid per actual
+        # sender, so pure receivers (most nodes of a typical scenario)
+        # never pay it.
+        self._notify: List[Optional[List[Tuple["Radio", float, float]]]] = []
         # Per-sender sub-floor contributions (zero where above floor / self),
-        # None for senders every receiver can hear.
+        # None for senders every receiver can hear; built with the notify row.
         self._subfloor_rows: List[Optional[np.ndarray]] = []
         self._subfloor_masks: List[Optional[np.ndarray]] = []
+        self._row_built: List[bool] = []
         # Live vectorized state, one slot per radio.
         self._subfloor_active_mw: np.ndarray = np.zeros(0)
         self._above_sum_mw: np.ndarray = np.zeros(0)
@@ -182,6 +190,7 @@ class Medium:
         self._notify = []
         self._subfloor_rows = []
         self._subfloor_masks = []
+        self._row_built = []
 
     @property
     def node_ids(self) -> list:
@@ -280,10 +289,18 @@ class Medium:
         return self._primed_rx_dbm.copy()
 
     def finalize(self) -> None:
-        """Freeze the topology: batch-compute rx powers and notification lists.
+        """Freeze the topology: batch-compute the rx-power matrices.
 
         Called automatically by the first :meth:`start_transmission`; safe to
         call again (a no-op once finalised, re-run after new registrations).
+
+        Finalisation does only the vectorized work (the N x N dBm and
+        milliwatt matrices plus per-slot state); the per-sender notification
+        and sub-floor tables -- Python tuple packing proportional to each
+        sender's audible neighbourhood -- are built lazily by
+        :meth:`_sender_tables` on a sender's first transmission, so network
+        construction no longer pays O(N * degree) for nodes that never
+        transmit.
         """
         if self._finalized:
             return
@@ -303,12 +320,14 @@ class Medium:
         self._slot_radios = radios
         self._finishes_since_resync = 0
 
+        self._notify = [None] * n
+        self._subfloor_rows = [None] * n
+        self._subfloor_masks = [None] * n
+        self._row_built = [False] * n
+
         if n == 0:
             self._rx_dbm_matrix = np.zeros((0, 0))
             self._rx_mw_matrix = np.zeros((0, 0))
-            self._notify = []
-            self._subfloor_rows = []
-            self._subfloor_masks = []
             self._finalized = True
             return
 
@@ -319,51 +338,54 @@ class Medium:
             )
         rx_mw = np.power(10.0, rx_dbm / 10.0)  # diagonal decays to exactly 0
 
-        floor = self.detectability_floor_dbm
-        # Per-link received power in dBm, computed exactly the way the
-        # per-frame path used to (a round trip through linear milliwatts --
-        # deliberately NOT rx_dbm, whose floats differ in the last ulp).
-        # Both matrices drop to Python-float row lists once, so building the
-        # notification table avoids per-element numpy scalar extraction.
-        mw_rows = rx_mw.tolist()
-        dbm_rows = linear_to_db(rx_mw).tolist()
-        notify: List[List[Tuple["Radio", float, float]]] = []
-        subfloor_rows: List[Optional[np.ndarray]] = []
-        subfloor_masks: List[Optional[np.ndarray]] = []
-        for i in range(n):
-            if floor is None:
-                audible = [j for j in range(n) if j != i]
-                subfloor_rows.append(None)
-                subfloor_masks.append(None)
-            else:
-                below = rx_dbm[i] < floor
-                below[i] = False  # a sender never interferes with itself
-                audible = np.nonzero(~below)[0].tolist()
-                audible.remove(i)
-                if below.any():
-                    subfloor_rows.append(np.where(below, rx_mw[i], 0.0))
-                    subfloor_masks.append(below)
-                else:
-                    subfloor_rows.append(None)
-                    subfloor_masks.append(None)
-            row_mw = mw_rows[i]
-            row_dbm = dbm_rows[i]
-            notify.append([(radios[j], row_mw[j], row_dbm[j]) for j in audible])
-
         for slot, radio in enumerate(radios):
             radio._attach_slot(slot)
 
         self._rx_dbm_matrix = rx_dbm
         self._rx_mw_matrix = rx_mw
-        self._notify = notify
-        self._subfloor_rows = subfloor_rows
-        self._subfloor_masks = subfloor_masks
         self._finalized = True
+
+    def _sender_tables(
+        self, slot: int
+    ) -> Tuple[List[Tuple["Radio", float, float]], Optional[np.ndarray], Optional[np.ndarray]]:
+        """The (notify row, sub-floor row, sub-floor mask) for one sender slot,
+        built on first use.
+
+        The values are exactly what eager finalisation used to produce: the
+        audible set from the dBm matrix against the detectability floor, and
+        per-link dBm through :func:`linear_to_db` of the milliwatt row (a
+        round trip through linear milliwatts, deliberately NOT the dBm
+        matrix, whose floats differ in the last ulp).
+        """
+        if not self._row_built[slot]:
+            rx_dbm_row = self._rx_dbm_matrix[slot]
+            rx_mw_row = self._rx_mw_matrix[slot]
+            n = len(rx_mw_row)
+            floor = self.detectability_floor_dbm
+            if floor is None:
+                audible = [j for j in range(n) if j != slot]
+            else:
+                below = rx_dbm_row < floor
+                below[slot] = False  # a sender never interferes with itself
+                audible = np.nonzero(~below)[0].tolist()
+                audible.remove(slot)
+                if below.any():
+                    self._subfloor_rows[slot] = np.where(below, rx_mw_row, 0.0)
+                    self._subfloor_masks[slot] = below
+            # Both rows drop to Python-float lists once, so the tuple packing
+            # avoids per-element numpy scalar extraction.
+            row_mw = rx_mw_row.tolist()
+            row_dbm = linear_to_db(rx_mw_row).tolist()
+            radios = self._slot_radios
+            self._notify[slot] = [(radios[j], row_mw[j], row_dbm[j]) for j in audible]
+            self._row_built[slot] = True
+        return self._notify[slot], self._subfloor_rows[slot], self._subfloor_masks[slot]
 
     def neighborhood(self, src: Hashable) -> List[Hashable]:
         """Node ids notified per-frame when ``src`` transmits (after finalisation)."""
         self.finalize()
-        return [entry[0].node_id for entry in self._notify[self._index[src]]]
+        notify, _, _ = self._sender_tables(self._index[src])
+        return [entry[0].node_id for entry in notify]
 
     # -- vectorized per-slot state (used by Radio) -------------------------------
 
@@ -443,7 +465,7 @@ class Medium:
         self.active_transmissions[tx.tx_id] = tx
         src_slot = self._index[src]
 
-        subfloor = self._subfloor_rows[src_slot]
+        notify, subfloor, _ = self._sender_tables(src_slot)
         if subfloor is not None:
             self._subfloor_active_mw += subfloor
             # The unpruned path samples worst-case interference at *every*
@@ -463,7 +485,7 @@ class Medium:
                 )
                 self._locked_max_interference_mw[mask] = interference
 
-        for radio, power_mw, power_dbm in self._notify[src_slot]:
+        for radio, power_mw, power_dbm in notify:
             radio.incoming_started(tx, power_mw, power_dbm)
         if subfloor is not None:
             self._sync_subfloor_busy_edges(self._subfloor_masks[src_slot])
@@ -473,6 +495,7 @@ class Medium:
     def _finish_transmission(self, tx: Transmission) -> None:
         del self.active_transmissions[tx.tx_id]
         src_slot = self._index[tx.src]
+        # The sender's tables were built when its transmission started.
         subfloor = self._subfloor_rows[src_slot]
         if subfloor is not None:
             self._subfloor_active_mw -= subfloor

@@ -32,6 +32,9 @@ class Node:
     def __post_init__(self) -> None:
         if self.stats is None:
             self.stats = NodeStats(self.node_id)
+        # Bind the simulator clock so receptions of timestamped frames
+        # accumulate enqueue-to-delivery latency alongside the counters.
+        self.stats.clock = self.radio.sim
         if self.traffic is not None:
             self.mac.attach_traffic(self.traffic)
         self.mac.on_data_received = self.stats.record_reception

@@ -42,6 +42,11 @@ class NodeStats:
     testbed harness reads it to compute per-link delivery counts exactly the
     way the paper counts "the number of packets successfully received at the
     intended receiver".
+
+    When ``clock`` is bound (the node wires its simulator in) and frames
+    carry a MAC enqueue timestamp, the stats also accumulate per-source
+    enqueue-to-delivery latency, which :meth:`mean_delay_from` reports and
+    :meth:`repro.scenarios.Scenario.run` surfaces as the ``delay_s`` column.
     """
 
     node_id: Hashable
@@ -49,12 +54,35 @@ class NodeStats:
     bytes_received_total: int = 0
     packets_from: Dict[Hashable, int] = field(default_factory=lambda: defaultdict(int))
     bytes_from: Dict[Hashable, int] = field(default_factory=lambda: defaultdict(int))
+    delay_sum_from: Dict[Hashable, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    delay_count_from: Dict[Hashable, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    #: Time source for delay measurement (the owning node's simulator);
+    #: ``None`` leaves the delay accumulators untouched.
+    clock: object = field(default=None, repr=False, compare=False)
 
     def record_reception(self, frame: Frame) -> None:
         self.packets_received_total += 1
         self.bytes_received_total += frame.payload_bytes
         self.packets_from[frame.src] += 1
         self.bytes_from[frame.src] += frame.payload_bytes
+        if self.clock is not None and frame.enqueued_at >= 0.0:
+            self.delay_sum_from[frame.src] += self.clock.now - frame.enqueued_at
+            self.delay_count_from[frame.src] += 1
+
+    def mean_delay_from(self, src: Hashable) -> float:
+        """Mean enqueue-to-delivery latency of ``src -> this node`` frames.
+
+        ``nan`` when no timestamped frame has been delivered (control-only
+        links, or frames from MACs that do not timestamp).
+        """
+        count = self.delay_count_from.get(src, 0)
+        if count == 0:
+            return float("nan")
+        return self.delay_sum_from[src] / count
 
     def link_throughput(self, src: Hashable, duration_s: float) -> LinkThroughput:
         """Throughput of the ``src -> this node`` link over a window."""
@@ -71,3 +99,5 @@ class NodeStats:
         self.bytes_received_total = 0
         self.packets_from.clear()
         self.bytes_from.clear()
+        self.delay_sum_from.clear()
+        self.delay_count_from.clear()

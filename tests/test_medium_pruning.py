@@ -316,3 +316,35 @@ class TestPrunedUnprunedEquivalence:
             topology_params={"n_clusters": 6, "spread_frac": 0.008},
         )
         _assert_equivalent(scenario)
+
+
+class TestLazyNotifyTables:
+    """Per-sender notify tables are built on first transmission, not at
+    finalisation (pure receivers never pay the tuple packing)."""
+
+    def test_finalize_builds_no_rows(self):
+        _sim, medium, _ = build_medium({"a": (0, 0), "b": NEAR, "c": (20.0, 0.0)})
+        medium.finalize()
+        assert medium._row_built == [False, False, False]
+        assert medium._notify == [None, None, None]
+
+    def test_first_transmission_builds_only_the_sender_row(self):
+        sim, medium, _ = build_medium({"a": (0, 0), "b": NEAR, "c": (20.0, 0.0)})
+        medium.start_transmission("a", data_frame("a"))
+        assert medium._row_built == [True, False, False]
+        sim.run()
+        assert medium._row_built == [True, False, False]
+
+    def test_lazy_rows_match_neighborhood_query(self):
+        _sim, medium, _ = build_medium({"a": (0, 0), "b": NEAR, "c": FAR})
+        # neighborhood() forces the row; far node is pruned, near one kept.
+        assert medium.neighborhood("a") == ["b"]
+        assert medium._row_built[0] and not medium._row_built[1]
+        assert medium._subfloor_rows[0] is not None  # c's power folded sub-floor
+
+    def test_lazy_and_eager_runs_identical(self):
+        """A scenario driven through lazy tables is bit-identical to itself
+        (and the pruned-vs-unpruned suites above pin it against the
+        reference medium)."""
+        scenario = _scenario("scale_free", n_nodes=10)
+        assert scenario.run() == scenario.run()

@@ -38,8 +38,9 @@ class TestScenarioRunProducesResultSet:
         assert np.all(rs.sent_packets > 0)
         assert np.all(np.isfinite(rs.loss_frac))
         assert np.all((rs.loss_frac >= 0) & (rs.loss_frac <= 1))
-        # delay_s is reserved until the MACs timestamp frames
-        assert np.all(np.isnan(rs.delay_s))
+        # delay_s carries the mean MAC enqueue-to-delivery latency
+        assert np.all(np.isfinite(rs.delay_s))
+        assert np.all(rs.delay_s > 0)
         # offered >= sent >= delivered along each flow
         assert np.all(rs.offered_packets >= rs.sent_packets)
         assert np.all(rs.sent_packets >= rs.delivered_packets)

@@ -361,3 +361,74 @@ class TestBatchedChildSeeds:
                      traffic=SaturatedTraffic("R"))
         net.add_node("R", (8, 0), mac="csma", tdma_schedule=schedule)
         assert net.run(0.2).link("S", "R").packets_per_second > 0
+
+
+class TestDelayTimestamping:
+    """MAC-level frame timestamping fills the enqueue-to-delivery delay stats."""
+
+    def _single_pair(self, mac="csma", **kwargs):
+        net = WirelessNetwork(channel=make_channel(), seed=2, **kwargs)
+        schedule = TdmaSchedule(slot_duration_s=0.02, slot_owners=("S",))
+        net.add_node("S", (0, 0), mac=mac, traffic=SaturatedTraffic("R"),
+                     rate_mbps=12.0, tdma_schedule=schedule)
+        net.add_node("R", (8, 0), mac=mac, tdma_schedule=schedule)
+        return net
+
+    def test_csma_delay_bounded_below_by_airtime(self):
+        net = self._single_pair()
+        result = net.run(0.3)
+        stats = net.nodes["R"].stats
+        delay = stats.mean_delay_from("S")
+        airtime = frame_airtime_s(1400, rate_by_mbps(12.0))
+        assert stats.delay_count_from["S"] == stats.packets_from["S"] > 0
+        assert delay >= airtime
+        assert delay < 0.05  # an uncontended pair delivers within a few ms
+
+    def test_tdma_delay_measured(self):
+        net = self._single_pair(mac="tdma")
+        result = net.run(0.3)
+        delay = net.nodes["R"].stats.mean_delay_from("S")
+        assert np.isfinite(delay) and delay > 0
+
+    def test_unmeasured_link_reports_nan(self):
+        net = self._single_pair()
+        net.run(0.1)
+        assert np.isnan(net.nodes["S"].stats.mean_delay_from("R"))
+
+    def test_reset_clears_delay_accumulators(self):
+        net = self._single_pair()
+        net.run(0.1)
+        stats = net.nodes["R"].stats
+        assert stats.delay_count_from["S"] > 0
+        stats.reset()
+        assert not stats.delay_count_from and not stats.delay_sum_from
+
+    def test_scenario_run_fills_delay_column(self):
+        from repro.scenarios import Scenario
+
+        result = Scenario(
+            topology="exposed_terminal", n_nodes=4, duration_s=0.2, seed=1
+        ).run()
+        assert np.all(np.isfinite(result.delay_s))
+        assert np.all(result.delay_s > 0)
+        # The legacy dict encoding is unchanged (no delay key).
+        assert "delay_s" not in result.to_flow_dicts()[0]
+
+    def test_retries_keep_the_original_timestamp(self):
+        from repro.simulation.frames import Frame, FrameKind
+
+        frame = Frame(
+            kind=FrameKind.DATA, src="S", dst="R", payload_bytes=100,
+            rate=rate_by_mbps(12.0), sequence=1, enqueued_at=0.125,
+        )
+        retry = frame.as_retry()
+        assert retry.enqueued_at == 0.125
+        assert retry.retry == 1
+        # Equality ignores the timestamp, as before the column existed.
+        assert Frame(
+            kind=FrameKind.DATA, src="S", dst="R", payload_bytes=100,
+            rate=rate_by_mbps(12.0), sequence=1, frame_id=999, enqueued_at=0.5,
+        ) == Frame(
+            kind=FrameKind.DATA, src="S", dst="R", payload_bytes=100,
+            rate=rate_by_mbps(12.0), sequence=1, frame_id=999,
+        )
