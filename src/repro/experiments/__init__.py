@@ -18,6 +18,7 @@ from ..api.experiment import EXPERIMENTS
 from . import (
     ablation_fixed_bitrate,
     ablation_noise_floor,
+    bianchi_vs_sim,
     figure02_landscape,
     figure03_preferences,
     figure04_curves,
@@ -26,6 +27,7 @@ from . import (
     figure09_shadowing,
     figure14_propagation_fit,
     run_scenarios,
+    saturated_network,
     section34_mistake_probability,
     section5_exposed_terminals,
     table1_fixed_threshold,

@@ -1,0 +1,44 @@
+"""Multi-hop networking: routing, forwarding queues, and an analytical oracle.
+
+The paper's experiments are single-hop, but the city-scale north star means
+forwarding.  This package layers a network layer onto the unmodified
+simulation core:
+
+* :mod:`repro.networking.routing` -- static hop-count shortest-path
+  :class:`RouteTable`\\ s precomputed from the same N x N received-power
+  matrix the medium finalises with;
+* :mod:`repro.networking.forwarding` -- :class:`ForwardingQueue` (finite
+  tail-drop relay FIFO served to the MAC as a traffic source) and
+  :class:`ForwardingNode` (the receive-side relay agent), with drop
+  counters landing in :class:`~repro.simulation.stats.NodeStats`;
+* :mod:`repro.networking.bianchi` -- the closed-form Bianchi saturated-CSMA
+  throughput model (fixed-point tau/p solve, per-station throughput), the
+  standing analytical cross-check for saturated collision domains.
+
+Scenario integration: ``Scenario(routing="shortest_path",
+queue_capacity=...)`` builds all of this automatically and surfaces
+``hops`` / ``queue_drops`` (and the delay percentile columns) in the
+resulting :class:`~repro.results.ResultSet`; see the ``saturated-network``
+and ``bianchi-vs-sim`` experiments.
+"""
+
+from .bianchi import (
+    BianchiPrediction,
+    saturation_throughput,
+    slotted_throughput,
+    solve_fixed_point,
+    transmission_probability,
+)
+from .forwarding import ForwardingNode, ForwardingQueue
+from .routing import RouteTable
+
+__all__ = [
+    "RouteTable",
+    "ForwardingQueue",
+    "ForwardingNode",
+    "BianchiPrediction",
+    "transmission_probability",
+    "solve_fixed_point",
+    "slotted_throughput",
+    "saturation_throughput",
+]

@@ -1,0 +1,222 @@
+"""Closed-form Bianchi model of saturated CSMA/CA throughput.
+
+Implements the per-station Markov-chain analysis of
+
+    G. Bianchi, "Performance Analysis of the IEEE 802.11 Distributed
+    Coordination Function", IEEE JSAC 18(3), 2000.
+
+Each of ``n`` saturated stations transmits in a randomly chosen slot with a
+stationary probability ``tau`` that depends on the conditional collision
+probability ``p``; the pair is the fixed point of
+
+    tau(p) = 2 / (1 + W + p * W * sum_{i=0}^{m-1} (2p)^i)        (Bianchi eq. 7)
+    p(tau) = 1 - (1 - tau)^(n - 1)                               (Bianchi eq. 9)
+
+where ``W = cw_min + 1`` is the number of initial backoff values and ``m``
+the number of window-doubling stages.  :func:`solve_fixed_point` solves the
+pair by bisection on ``p`` (``tau`` is strictly decreasing in ``p`` and
+``p`` strictly increasing in ``tau``, so the composed residual is monotone
+and the bisection is unconditionally convergent).  Throughput then follows
+from the renewal argument over anonymous slots (Bianchi eq. 13):
+
+    S = P_s * P_tr * E[P] / ((1 - P_tr) * sigma
+                             + P_tr * P_s * T_s + P_tr * (1 - P_s) * T_c)
+
+:func:`saturation_throughput` maps the reproduction's simulator parameters
+onto that slot structure: the no-ACK broadcast-style MAC the paper's
+experiments use never grows its contention window (no retries), which is
+exactly the ``m = 0`` degenerate chain with the closed form
+``tau = 2 / (W + 1)``; with ACKs enabled the window doubles from ``cw_min``
+to ``cw_max``, giving ``m = log2((cw_max + 1) / (cw_min + 1))``.
+
+This model is the analytical oracle the ``bianchi-vs-sim`` experiment holds
+the packet-level simulator against (single collision domain, saturated
+sources) -- a correctness cross-check that stays cheap at scales where
+cross-simulation is not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..capacity.rates import (
+    ACK_BYTES,
+    CW_MAX,
+    CW_MIN,
+    DIFS_S,
+    SIFS_S,
+    SLOT_TIME_S,
+    OFDM_RATES,
+    frame_airtime_s,
+    rate_by_mbps,
+)
+
+__all__ = [
+    "BianchiPrediction",
+    "transmission_probability",
+    "solve_fixed_point",
+    "slotted_throughput",
+    "saturation_throughput",
+]
+
+
+def transmission_probability(p: float, cw_min: int = CW_MIN, stages: int = 0) -> float:
+    """``tau(p)``: the stationary per-slot transmission probability.
+
+    ``cw_min`` is the initial contention-window maximum (backoff drawn
+    uniformly from ``[0, cw_min]``, so Bianchi's ``W`` is ``cw_min + 1``);
+    ``stages`` is ``m``, the number of doublings a collision can cause
+    (0 = fixed window, the no-retry MAC).  Written in the summed form,
+    which is finite and smooth at ``2p = 1`` where the geometric closed
+    form is 0/0.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("collision probability must be in [0, 1]")
+    if stages < 0:
+        raise ValueError("stages must be non-negative")
+    w = cw_min + 1
+    if stages == 0:
+        geometric = 0.0
+    elif abs(2.0 * p - 1.0) < 1e-12:
+        geometric = float(stages)
+    else:
+        geometric = (1.0 - (2.0 * p) ** stages) / (1.0 - 2.0 * p)
+    return 2.0 / (1.0 + w + p * w * geometric)
+
+
+def solve_fixed_point(
+    n_stations: int,
+    cw_min: int = CW_MIN,
+    stages: int = 0,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> tuple:
+    """Solve the (tau, p) fixed point for ``n_stations`` saturated stations.
+
+    Returns ``(tau, p, residual)`` where ``residual`` is
+    ``p - (1 - (1 - tau)^(n-1))`` at the solution (0 at an exact fixed
+    point).  Bisection on ``p``: the residual is strictly increasing in
+    ``p``, so convergence is unconditional.
+    """
+    if n_stations < 1:
+        raise ValueError("need at least one station")
+    if n_stations == 1:
+        # No contention: a lone station never collides.
+        return transmission_probability(0.0, cw_min, stages), 0.0, 0.0
+
+    def residual(p: float) -> float:
+        tau = transmission_probability(p, cw_min, stages)
+        return p - (1.0 - (1.0 - tau) ** (n_stations - 1))
+
+    lo, hi = 0.0, 1.0
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if residual(mid) < 0.0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    p = 0.5 * (lo + hi)
+    return transmission_probability(p, cw_min, stages), p, residual(p)
+
+
+@dataclass(frozen=True)
+class BianchiPrediction:
+    """The solved model for one station count and slot structure."""
+
+    n_stations: int
+    tau: float                 #: per-slot transmission probability
+    p: float                   #: conditional collision probability
+    p_tr: float                #: P(some station transmits in a slot)
+    p_s: float                 #: P(transmission succeeds | some transmission)
+    slot_mean_s: float         #: expected anonymous-slot duration
+    throughput_pps: float      #: aggregate successful frames per second
+    normalized: float          #: fraction of time carrying payload bits (S)
+    residual: float            #: fixed-point residual (solver diagnostics)
+
+    @property
+    def per_station_pps(self) -> float:
+        return self.throughput_pps / self.n_stations
+
+
+def slotted_throughput(
+    n_stations: int,
+    tau: float,
+    payload_s: float,
+    success_s: float,
+    collision_s: float,
+    slot_s: float,
+    p: float = float("nan"),
+    residual: float = 0.0,
+) -> BianchiPrediction:
+    """Throughput from the anonymous-slot renewal argument (Bianchi eq. 13).
+
+    ``payload_s`` is the time spent carrying payload bits in a successful
+    transmission (E[P] over the channel rate); ``success_s`` / ``collision_s``
+    are the total busy durations T_s / T_c a success or collision occupies,
+    and ``slot_s`` is the idle slot sigma.
+    """
+    n = n_stations
+    p_tr = 1.0 - (1.0 - tau) ** n
+    if p_tr <= 0.0:
+        return BianchiPrediction(n, tau, p, 0.0, 0.0, slot_s, 0.0, 0.0, residual)
+    p_s = n * tau * (1.0 - tau) ** (n - 1) / p_tr
+    slot_mean = (
+        (1.0 - p_tr) * slot_s
+        + p_tr * p_s * success_s
+        + p_tr * (1.0 - p_s) * collision_s
+    )
+    success_rate = p_tr * p_s / slot_mean
+    return BianchiPrediction(
+        n_stations=n,
+        tau=tau,
+        p=p,
+        p_tr=p_tr,
+        p_s=p_s,
+        slot_mean_s=slot_mean,
+        throughput_pps=success_rate,
+        normalized=success_rate * payload_s,
+        residual=residual,
+    )
+
+
+def saturation_throughput(
+    n_stations: int,
+    payload_bytes: int = 1400,
+    rate_mbps: float = 6.0,
+    use_acks: bool = False,
+    cw_min: int = CW_MIN,
+    cw_max: int = CW_MAX,
+    slot_s: float = SLOT_TIME_S,
+    sifs_s: float = SIFS_S,
+    difs_s: float = DIFS_S,
+) -> BianchiPrediction:
+    """The model under the reproduction simulator's MAC/PHY parameters.
+
+    Maps the simulator's timing onto Bianchi's slot structure.  Without
+    ACKs (the paper's broadcast-style experiments) the MAC never retries,
+    so the backoff chain has a single stage (``m = 0``) and a success and
+    a collision occupy the channel identically: the data airtime followed
+    by the DIFS every station waits before resuming its backoff.  With
+    ACKs, the window doubles ``log2((cw_max+1)/(cw_min+1))`` times and T_s
+    / T_c pick up the ACK exchange / ACK timeout respectively.
+    """
+    rate = rate_by_mbps(rate_mbps)
+    data_s = frame_airtime_s(payload_bytes, rate, include_mac_header=True)
+    payload_s = 8.0 * payload_bytes / (rate.mbps * 1e6)
+    if use_acks:
+        stages = int(round(math.log2((cw_max + 1) / (cw_min + 1))))
+        ack_s = frame_airtime_s(ACK_BYTES, OFDM_RATES[0], include_mac_header=False)
+        success_s = data_s + sifs_s + ack_s + difs_s
+        # The simulator's ACK timeout is SIFS + 2 slots + the ACK airtime.
+        collision_s = data_s + sifs_s + 2.0 * slot_s + ack_s + difs_s
+    else:
+        stages = 0
+        success_s = data_s + difs_s
+        collision_s = data_s + difs_s
+    tau, p, residual = solve_fixed_point(n_stations, cw_min=cw_min, stages=stages)
+    return slotted_throughput(
+        n_stations, tau, payload_s, success_s, collision_s, slot_s, p=p, residual=residual
+    )

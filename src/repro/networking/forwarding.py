@@ -1,0 +1,194 @@
+"""Hop-by-hop frame forwarding through finite per-station FIFO queues.
+
+Two small pieces layer multi-hop forwarding onto an unmodified MAC/radio
+stack:
+
+* :class:`ForwardingQueue` -- a :class:`~repro.simulation.traffic.TrafficSource`
+  the MAC polls.  It serves a finite tail-drop FIFO of relay packets first
+  (traffic in flight through this station), then falls back to the node's own
+  *origin* source (the scenario's saturated/poisson source, wrapped), routing
+  each origin packet to its first hop at pull time.  Packets are the
+  three-element form ``(next_hop, payload_bytes, FlowTag)``; the MAC stamps
+  the flow tag onto the frame (see :class:`repro.simulation.frames.FlowTag`).
+
+* :class:`ForwardingNode` -- the receive side.  It replaces the node's
+  ``mac.on_data_received`` hook: frames whose ``flow_dst`` is this node (or
+  untagged frames) are delivered to :class:`~repro.simulation.stats.NodeStats`
+  exactly as before; frames in transit are re-queued towards their next hop,
+  preserving the origin enqueue timestamp (so receiver-side delay is
+  end-to-end) and incrementing the hop counter.
+
+Tail drops (relay FIFO full) and routing dead-ends are counted in
+``NodeStats.queue_drops`` and attributed per end-to-end flow, which
+:meth:`repro.scenarios.Scenario.run` surfaces as the ``queue_drops``
+ResultSet column.
+
+Neither piece consumes simulation randomness or schedules events of its
+own, so a degenerate deployment (every route one hop, infinite queues)
+replays the direct single-hop event sequence bit-for-bit -- pinned by
+``tests/test_networking_forwarding.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Hashable, Optional, Tuple
+
+from ..simulation.frames import BROADCAST, FlowTag, Frame
+from ..simulation.node import Node
+from ..simulation.traffic import TrafficSource
+from .routing import RouteTable
+
+__all__ = ["ForwardingQueue", "ForwardingNode"]
+
+RelayPacket = Tuple[Hashable, int, FlowTag]
+
+
+class ForwardingQueue(TrafficSource):
+    """Relay FIFO plus routed origin traffic, served to the MAC as packets.
+
+    Relay packets take priority over origin packets (a station drains
+    traffic in flight through it before injecting its own), which is the
+    conventional forwarding discipline and keeps end-to-end pipelines moving
+    under saturated origins.  ``capacity`` bounds only the relay FIFO --
+    origin sources keep their own queueing semantics -- with ``None``
+    meaning unbounded.
+    """
+
+    __slots__ = (
+        "node_id",
+        "routes",
+        "origin",
+        "capacity",
+        "stats",
+        "on_arrival",
+        "relayed_in",
+        "relays_sent",
+        "relay_drops",
+        "no_route_drops",
+        "_queue",
+    )
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        routes: RouteTable,
+        origin: Optional[TrafficSource] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("queue capacity must be at least 1 (or None for unbounded)")
+        self.node_id = node_id
+        self.routes = routes
+        self.origin = origin
+        self.capacity = capacity
+        #: Bound to the owning node's :class:`NodeStats` by
+        #: :class:`ForwardingNode`, so drops land in the node's counters.
+        self.stats = None
+        #: Wired to ``mac.notify_traffic`` by ``MacBase.attach_traffic`` (the
+        #: attribute existing and being None is the contract), so a relay
+        #: arrival wakes a dormant MAC just like an open-loop origin arrival.
+        self.on_arrival = None
+        self.relayed_in = 0
+        self.relays_sent = 0
+        self.relay_drops = 0
+        self.no_route_drops = 0
+        self._queue: Deque[RelayPacket] = deque()
+        # Chain an open-loop origin's arrival hook through this wrapper so
+        # the MAC still wakes on origin arrivals.
+        if origin is not None and getattr(origin, "on_arrival", "absent") is None:
+            origin.on_arrival = self._origin_arrival
+
+    # -- TrafficSource interface ----------------------------------------------
+
+    def next_packet(self) -> Optional[RelayPacket]:
+        if self._queue:
+            return self._queue.popleft()
+        if self.origin is None:
+            return None
+        packet = self.origin.next_packet()
+        if packet is None:
+            return None
+        flow_dst, payload_bytes = packet[0], packet[1]
+        if flow_dst == BROADCAST:
+            # Broadcasts are single-hop by nature; pass them through untagged.
+            return (flow_dst, payload_bytes)
+        hop = self.routes.next_hop(self.node_id, flow_dst)
+        if hop is None:
+            # Unroutable origin destination: count the drop and go idle
+            # rather than spinning a saturated source forever.
+            self.no_route_drops += 1
+            if self.stats is not None:
+                self.stats.record_queue_drop(self.node_id, flow_dst)
+            return None
+        return (hop, payload_bytes, FlowTag(self.node_id, flow_dst))
+
+    def notify_sent(self, frame: Frame) -> None:
+        if frame.flow_src is None or frame.flow_src == self.node_id:
+            # The origin source keeps its own sent accounting for the node's
+            # own traffic (relays are not this node's offered load).
+            if self.origin is not None:
+                self.origin.notify_sent(frame)
+        else:
+            self.relays_sent += 1
+
+    # -- relay side -------------------------------------------------------------
+
+    def push_relay(self, next_hop: Hashable, payload_bytes: int, flow: FlowTag) -> bool:
+        """Enqueue a packet in transit; tail-drop when the FIFO is full."""
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            self.relay_drops += 1
+            if self.stats is not None:
+                self.stats.record_queue_drop(flow.flow_src, flow.flow_dst)
+            return False
+        was_idle = not self._queue
+        self._queue.append((next_hop, payload_bytes, flow))
+        self.relayed_in += 1
+        if was_idle and self.on_arrival is not None:
+            # Wake a MAC that went dormant on an empty source (a no-op when
+            # it is mid-access; see MacBase.notify_traffic).
+            self.on_arrival()
+        return True
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def _origin_arrival(self) -> None:
+        if self.on_arrival is not None:
+            self.on_arrival()
+
+
+class ForwardingNode:
+    """The receive-side relay agent for one station.
+
+    Constructing it rewires ``node.mac.on_data_received`` from the node's
+    stats hook to :meth:`handle`, and binds the node's stats into the
+    station's :class:`ForwardingQueue` so drops are attributed to the node.
+    """
+
+    __slots__ = ("node_id", "routes", "queue", "stats", "_deliver")
+
+    def __init__(self, node: Node, routes: RouteTable, queue: ForwardingQueue) -> None:
+        self.node_id = node.node_id
+        self.routes = routes
+        self.queue = queue
+        self.stats = node.stats
+        queue.stats = node.stats
+        self._deliver = node.stats.record_reception
+        node.mac.on_data_received = self.handle
+
+    def handle(self, frame: Frame) -> None:
+        flow_dst = frame.flow_dst
+        if flow_dst is None or flow_dst == self.node_id or frame.dst == BROADCAST:
+            self._deliver(frame)
+            return
+        next_hop = self.routes.next_hop(self.node_id, flow_dst)
+        if next_hop is None:
+            # A routing dead-end mid-path (possible when the table was built
+            # with a tighter threshold than the link that delivered the
+            # frame): account it like a queue rejection.
+            self.stats.record_queue_drop(frame.flow_src, flow_dst)
+            return
+        flow = FlowTag(frame.flow_src, flow_dst, frame.enqueued_at, frame.hops + 1)
+        self.queue.push_relay(next_hop, frame.payload_bytes, flow)

@@ -51,10 +51,21 @@ _SCENARIO_FIELDS = (
 )
 
 #: Float flow columns (NaN = not measured, e.g. converted legacy results).
-_FLOAT_COLUMNS = ("delivered_pps", "offered_pps", "loss_frac", "delay_s")
+#: ``delay_p50_s`` / ``delay_p99_s`` are reservoir-estimated delay
+#: percentiles (see :class:`repro.simulation.stats.DelayReservoir`).
+_FLOAT_COLUMNS = (
+    "delivered_pps", "offered_pps", "loss_frac", "delay_s",
+    "delay_p50_s", "delay_p99_s",
+)
 
-#: Integer flow columns (-1 = not measured).
-_INT_COLUMNS = ("delivered_packets", "offered_packets", "sent_packets")
+#: Integer flow columns (-1 = not measured).  ``hops`` is the routed path
+#: length in MAC hops (1 for direct single-hop flows); ``queue_drops``
+#: counts forwarding-queue rejections attributed to the flow (0 without a
+#: networking layer).
+_INT_COLUMNS = (
+    "delivered_packets", "offered_packets", "sent_packets",
+    "hops", "queue_drops",
+)
 
 #: Public flow-column names, including the decoded string columns.
 FLOW_COLUMNS = ("src", "dst", "scenario_idx") + _FLOAT_COLUMNS + _INT_COLUMNS
@@ -82,7 +93,9 @@ class ResultSet:
     __slots__ = (
         "node_names", "src_code", "dst_code", "scenario_idx",
         "delivered_pps", "offered_pps", "loss_frac", "delay_s",
+        "delay_p50_s", "delay_p99_s",
         "delivered_packets", "offered_packets", "sent_packets",
+        "hops", "queue_drops",
         "scenarios",
     )
 
@@ -276,9 +289,13 @@ class ResultSet:
                 "offered_pps": float(self.offered_pps[row]),
                 "loss_frac": float(self.loss_frac[row]),
                 "delay_s": float(self.delay_s[row]),
+                "delay_p50_s": float(self.delay_p50_s[row]),
+                "delay_p99_s": float(self.delay_p99_s[row]),
                 "delivered_packets": int(self.delivered_packets[row]),
                 "offered_packets": int(self.offered_packets[row]),
                 "sent_packets": int(self.sent_packets[row]),
+                "hops": int(self.hops[row]),
+                "queue_drops": int(self.queue_drops[row]),
             })
         return records
 
@@ -499,13 +516,16 @@ class ResultSet:
         manifest = json.loads(bytes(data["manifest"]).decode("utf-8"))
         if manifest.get("schema") != SCHEMA_VERSION:
             raise ValueError(f"unsupported ResultSet schema {manifest.get('schema')!r}")
+        # Columns added after a file was written (the schema is additive
+        # within one version) fall back to their "not measured" sentinels,
+        # so old cache entries keep loading.
         return cls(
             node_names=data["node_names"],
             src_code=data["src_code"],
             dst_code=data["dst_code"],
             scenario_idx=data["scenario_idx"],
             scenarios=manifest["scenarios"],
-            **{name: data[name] for name in _FLOAT_COLUMNS + _INT_COLUMNS},
+            **{name: data[name] for name in _FLOAT_COLUMNS + _INT_COLUMNS if name in data},
         )
 
     @classmethod

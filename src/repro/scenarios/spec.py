@@ -16,7 +16,10 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..capacity.rates import rate_by_mbps
 from ..constants import DEFAULT_TX_POWER_DBM, EXPERIMENT_PAYLOAD_BYTES, FREQ_5_GHZ
+from ..networking.forwarding import ForwardingNode, ForwardingQueue
+from ..networking.routing import RouteTable
 from ..propagation.channel import ChannelModel
 from ..propagation.pathloss import LogDistancePathLoss
 from ..registry import MACS, TRAFFIC_MODELS
@@ -108,6 +111,18 @@ class Scenario:
     tdma_slot_s: float = 0.02
     # medium (``None`` disables neighbourhood pruning -- the reference path)
     detectability_margin_db: Optional[float] = DEFAULT_DETECTABILITY_MARGIN_DB
+    # networking (``None`` keeps the historical direct single-hop flows).
+    #: ``"shortest_path"`` builds a static hop-count route table over the
+    #: decodable-link graph and relays every flow hop-by-hop through
+    #: per-station forwarding queues (see :mod:`repro.networking`).
+    routing: Optional[str] = None
+    #: Finite relay-FIFO bound per station (tail drop beyond it); ``None``
+    #: leaves relay queues unbounded.  Requires ``routing``.
+    queue_capacity: Optional[int] = None
+    #: Extra routing knobs (currently ``link_margin_db``: extra dB of
+    #: received power demanded of a routable link).  Omitted from
+    #: :meth:`as_config` while empty, like the other param dicts.
+    routing_params: Dict[str, Any] = field(default_factory=dict)
     # measurement
     duration_s: float = 1.0
 
@@ -136,6 +151,14 @@ class Scenario:
         if self.mac not in MACS:
             known = ", ".join(sorted(MACS))
             raise ValueError(f"unknown MAC {self.mac!r} (known: {known})")
+        if self.routing not in (None, "shortest_path"):
+            raise ValueError(
+                f"unknown routing {self.routing!r} (known: shortest_path)"
+            )
+        if self.routing is None and (self.queue_capacity is not None or self.routing_params):
+            raise ValueError("queue_capacity / routing_params require routing")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1 (or None for unbounded)")
 
     # -- construction ----------------------------------------------------------
 
@@ -200,6 +223,39 @@ class Scenario:
         rx_dbm = Medium.compute_rx_dbm_matrix(channel, ids, placement.positions)
         return placement, rx_dbm, dict(channel._pair_shadowing_db)
 
+    def route_table(self, warm: Optional[Tuple[Any, ...]] = None) -> RouteTable:
+        """The static shortest-path route table this spec's topology implies.
+
+        A directed link exists where the received power clears the noise
+        floor by the configured rate's minimum SNR (plus an optional
+        ``routing_params["link_margin_db"]``), i.e. exactly the frames the
+        PHY can decode in the clear.  The matrix comes from the same seeded
+        channel the medium finalises with, so routes agree with the links
+        packets actually traverse.
+        """
+        if self.routing is None:
+            raise ValueError("scenario has no routing layer (routing=None)")
+        channel = self.channel()
+        if warm is not None:
+            placement, rx_dbm = warm[0], warm[1]
+        else:
+            placement = self.placement()
+            rx_dbm = Medium.compute_rx_dbm_matrix(
+                channel, list(placement.positions), placement.positions
+            )
+        params = dict(self.routing_params)
+        link_margin_db = float(params.pop("link_margin_db", 0.0))
+        if params:
+            raise ValueError(f"unknown routing_params: {sorted(params)}")
+        threshold_dbm = (
+            channel.noise_floor_dbm
+            + rate_by_mbps(self.rate_mbps).min_snr_db
+            + link_margin_db
+        )
+        return RouteTable.from_rx_matrix(
+            list(placement.positions), rx_dbm, threshold_dbm
+        )
+
     def build_network(
         self, warm: Optional[Tuple[Any, ...]] = None
     ) -> Tuple[WirelessNetwork, Placement]:
@@ -226,21 +282,38 @@ class Scenario:
                 warm[2] if len(warm) > 2 else None,
             )
         senders = {src: dst for src, dst in placement.flows}
+        routes = None
+        if self.routing is not None:
+            routes = self.route_table(warm)
+            net.route_table = routes
         schedule = None
         if self.mac == "tdma":
+            # With a forwarding layer any station may need to transmit
+            # (relays included), so every node owns a slot.
+            owners = (
+                tuple(placement.positions)
+                if routes is not None
+                else tuple(senders) or tuple(placement.positions)
+            )
             schedule = TdmaSchedule(
                 slot_duration_s=self.tdma_slot_s,
-                slot_owners=tuple(senders) or tuple(placement.positions),
+                slot_owners=owners,
             )
         make_traffic = TRAFFIC_MODELS.get(self.traffic)
         for node_id, position in placement.positions.items():
             traffic = None
             if node_id in senders:
                 traffic = make_traffic(self, net, senders[node_id], **self.traffic_params)
+            queue = None
+            if routes is not None:
+                queue = ForwardingQueue(
+                    node_id, routes, origin=traffic, capacity=self.queue_capacity
+                )
+                traffic = queue
             kwargs: Dict[str, Any] = {}
             if self.mac == "csma":
                 kwargs.update(use_acks=self.use_acks, use_rts_cts=self.use_rts_cts)
-            net.add_node(
+            node = net.add_node(
                 node_id,
                 position,
                 mac=self.mac,
@@ -250,6 +323,8 @@ class Scenario:
                 mac_params=self.mac_params,
                 **kwargs,
             )
+            if queue is not None:
+                ForwardingNode(node, routes, queue)
         return net, placement
 
     # -- execution -------------------------------------------------------------
@@ -268,21 +343,39 @@ class Scenario:
         """
         net, placement = self.build_network(warm)
         outcome = net.run(self.duration_s)
+        routes = net.route_table
+        n_flows = len(placement.flows)
         flow_rates: list = []
-        delivered_pps = np.empty(len(placement.flows), dtype=np.float64)
-        delivered_packets = np.empty(len(placement.flows), dtype=np.int64)
-        offered_packets = np.empty(len(placement.flows), dtype=np.int64)
-        sent_packets = np.empty(len(placement.flows), dtype=np.int64)
-        delay_s = np.empty(len(placement.flows), dtype=np.float64)
+        delivered_pps = np.empty(n_flows, dtype=np.float64)
+        delivered_packets = np.empty(n_flows, dtype=np.int64)
+        offered_packets = np.empty(n_flows, dtype=np.int64)
+        sent_packets = np.empty(n_flows, dtype=np.int64)
+        delay_s = np.empty(n_flows, dtype=np.float64)
+        delay_p50_s = np.empty(n_flows, dtype=np.float64)
+        delay_p99_s = np.empty(n_flows, dtype=np.float64)
+        hops = np.ones(n_flows, dtype=np.int64)
+        queue_drops = np.zeros(n_flows, dtype=np.int64)
         for row, (src, dst) in enumerate(placement.flows):
             pps = outcome.link(src, dst).packets_per_second
             flow_rates.append(pps)
             delivered_pps[row] = pps
             delivered_packets[row] = outcome.packets_delivered(src, dst)
             traffic = net.nodes[src].traffic
+            if isinstance(traffic, ForwardingQueue):
+                # End-to-end accounting reads the wrapped origin source: the
+                # relay FIFO's packets are other stations' flows in transit.
+                traffic = traffic.origin
             offered_packets[row] = getattr(traffic, "packets_offered", -1)
             sent_packets[row] = getattr(traffic, "packets_sent", -1)
-            delay_s[row] = net.nodes[dst].stats.mean_delay_from(src)
+            dst_stats = net.nodes[dst].stats
+            delay_s[row] = dst_stats.mean_delay_from(src)
+            delay_p50_s[row], delay_p99_s[row] = dst_stats.delay_percentiles_from(src)
+            if routes is not None:
+                hops[row] = routes.hop_count(src, dst)
+                queue_drops[row] = sum(
+                    node.stats.queue_drops_for.get((src, dst), 0)
+                    for node in net.nodes.values()
+                )
         offered_pps = np.where(
             offered_packets >= 0, offered_packets / self.duration_s, np.nan
         )
@@ -310,9 +403,13 @@ class Scenario:
             offered_pps=offered_pps,
             loss_frac=loss_frac,
             delay_s=delay_s,
+            delay_p50_s=delay_p50_s,
+            delay_p99_s=delay_p99_s,
             delivered_packets=delivered_packets,
             offered_packets=offered_packets,
             sent_packets=sent_packets,
+            hops=hops,
+            queue_drops=queue_drops,
         )
 
     # -- (de)serialisation -----------------------------------------------------
@@ -327,11 +424,16 @@ class Scenario:
         """
         config = asdict(self)
         config["topology_params"] = dict(self.topology_params)
-        for optional in ("traffic_params", "mac_params"):
+        for optional in ("traffic_params", "mac_params", "routing_params"):
             if not config[optional]:
                 del config[optional]
             else:
                 config[optional] = dict(config[optional])
+        # Same cache-key compatibility rule for the networking fields: a
+        # scenario without a routing layer hashes exactly as it always did.
+        for optional in ("routing", "queue_capacity"):
+            if config[optional] is None:
+                del config[optional]
         return config
 
     @classmethod

@@ -194,6 +194,7 @@ def scale_free(
     rng: np.random.Generator,
     attach_range_frac: float = 0.15,
     n_hubs: int = 1,
+    flows: str = "uplink",
 ) -> Placement:
     """Preferential attachment: heavy-tailed hub degrees in space.
 
@@ -210,7 +211,18 @@ def scale_free(
     parent, so the layout grows separated heavy-tailed clusters whose
     diameters stay small relative to their spacing -- the regime where the
     medium's neighbourhood pruning pays off at scale.
+
+    ``flows`` selects the traffic pattern over the fixed placement (the
+    position/attachment draws are identical for every mode): ``"uplink"``
+    (default, historical) makes every attachment edge a single-hop flow to
+    the parent; ``"to_root"`` points every non-root node's traffic at the
+    first hub, the gravity pattern where multi-hop load concentrates on the
+    tree core ("Communication Bottlenecks in Scale-Free Networks") --
+    meaningful with a routing layer, since most sources are several hops
+    out.
     """
+    if flows not in ("uplink", "to_root"):
+        raise ValueError(f"unknown scale_free flow mode {flows!r} (known: uplink, to_root)")
     if n_hubs < 1:
         raise ValueError("need at least one hub")
     if n_hubs >= n_nodes:
@@ -229,7 +241,7 @@ def scale_free(
         for hub in range(n_hubs):
             positions[_node_id(hub)] = _clip_box(centres[hub, 0], centres[hub, 1], extent)
             degrees.append(1.0)
-    flows: List[Tuple[str, str]] = []
+    flows_out: List[Tuple[str, str]] = []
     for index in range(len(degrees), n_nodes):
         weights = np.asarray(degrees) / float(np.sum(degrees))
         target = int(rng.choice(len(degrees), p=weights))
@@ -238,10 +250,13 @@ def scale_free(
         phi = float(rng.uniform(0.0, 2.0 * np.pi))
         node = _node_id(index)
         positions[node] = _clip_box(tx + hop * np.cos(phi), ty + hop * np.sin(phi), extent)
-        flows.append((node, _node_id(target)))
+        flows_out.append((node, _node_id(target)))
         degrees[target] += 1.0
         degrees.append(1.0)
-    return Placement("scale_free", positions, tuple(flows))
+    if flows == "to_root":
+        root = _node_id(0)
+        flows_out = [(node, root) for node in positions if node != root]
+    return Placement("scale_free", positions, tuple(flows_out))
 
 
 @register_topology("hidden_terminal")
@@ -328,8 +343,22 @@ def line(
     extent: float,
     rng: np.random.Generator,
     jitter_frac: float = 0.02,
+    flows: str = "adjacent",
 ) -> Placement:
-    """A corridor: nodes evenly spaced along a line, adjacent nodes paired."""
+    """A corridor: nodes evenly spaced along a line.
+
+    ``flows`` selects the traffic pattern over the fixed placement (the
+    position draws are identical for every mode, so seeds reproduce):
+
+    * ``"adjacent"`` (default, the historical behaviour) -- consecutive
+      nodes paired into independent single-hop flows;
+    * ``"end_to_end"`` -- one flow from the first node to the last, the
+      canonical multi-hop relay chain (needs a routing layer when the ends
+      are out of range of each other);
+    * ``"to_gateway"`` -- every other node sends to the first node, the
+      saturated-uplink / collision-domain pattern the Bianchi cross-check
+      uses.
+    """
     spacing = extent / max(1, n_nodes - 1)
     order: List[str] = []
     positions: Dict[str, Position] = {}
@@ -341,4 +370,14 @@ def line(
             extent,
         )
         order.append(node)
-    return Placement("line", positions, _pair_consecutive(order))
+    if flows == "adjacent":
+        flow_pairs = _pair_consecutive(order)
+    elif flows == "end_to_end":
+        flow_pairs = ((order[0], order[-1]),)
+    elif flows == "to_gateway":
+        flow_pairs = tuple((node, order[0]) for node in order[1:])
+    else:
+        raise ValueError(
+            f"unknown line flow mode {flows!r} (known: adjacent, end_to_end, to_gateway)"
+        )
+    return Placement("line", positions, flow_pairs)

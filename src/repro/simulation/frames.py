@@ -5,11 +5,11 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from ..capacity.rates import RateInfo, frame_airtime_s
 
-__all__ = ["FrameKind", "Frame", "BROADCAST"]
+__all__ = ["FrameKind", "Frame", "FlowTag", "BROADCAST"]
 
 #: Destination address meaning "all stations" (the Section 4 experiments use
 #: broadcast data frames, which are never acknowledged).
@@ -25,6 +25,25 @@ class FrameKind(Enum):
     ACK = "ack"
     RTS = "rts"
     CTS = "cts"
+
+
+class FlowTag(NamedTuple):
+    """End-to-end flow metadata a traffic source attaches to a packet.
+
+    Multi-hop forwarding (see :mod:`repro.networking`) hands the MAC
+    three-element packets ``(next_hop, payload_bytes, FlowTag)``; the MAC
+    copies the tag onto the :class:`Frame` so receivers can tell relayed
+    traffic from traffic that terminates locally.  ``enqueued_at < 0``
+    means "stamp the frame with the MAC's pull time" (the single-hop
+    behaviour); relays carry the origin timestamp forward so delay stays
+    end-to-end.  ``hops`` counts the MAC transmissions this packet has
+    taken including the upcoming one.
+    """
+
+    flow_src: object
+    flow_dst: object
+    enqueued_at: float = -1.0
+    hops: int = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,6 +74,15 @@ class Frame:
         enqueue-to-delivery latency.  Excluded from equality/repr: two
         frames carrying the same payload at different times still compare
         equal, as before the column existed.
+    flow_src, flow_dst:
+        End-to-end flow endpoints for multi-hop traffic (``None`` for
+        ordinary single-hop frames, where ``src``/``dst`` are the flow).
+        A relay delivers the frame locally when ``flow_dst`` is ``None`` or
+        itself, and re-queues it towards the next hop otherwise.  Excluded
+        from equality/repr like ``enqueued_at``.
+    hops:
+        Which MAC transmission of the end-to-end path this frame is (1 for
+        the origin's transmission; relays increment it).
     airtime_s:
         On-air duration at the frame's PHY rate, computed once at
         construction (the radio, medium, and MAC all read it repeatedly on
@@ -70,6 +98,9 @@ class Frame:
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
     retry: int = 0
     enqueued_at: float = field(default=-1.0, repr=False, compare=False)
+    flow_src: object = field(default=None, repr=False, compare=False)
+    flow_dst: object = field(default=None, repr=False, compare=False)
+    hops: int = field(default=1, repr=False, compare=False)
     airtime_s: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -95,4 +126,7 @@ class Frame:
             sequence=self.sequence,
             retry=self.retry + 1,
             enqueued_at=self.enqueued_at,
+            flow_src=self.flow_src,
+            flow_dst=self.flow_dst,
+            hops=self.hops,
         )

@@ -79,6 +79,8 @@ class CsmaMac(MacBase):
         "_nav_until",
         "_ack_timeout_s",
         "_cts_timeout_s",
+        "slot_commit",
+        "_timer_deadline",
     )
 
     def __init__(
@@ -90,6 +92,7 @@ class CsmaMac(MacBase):
         rng: Optional[np.random.Generator] = None,
         use_acks: bool = False,
         use_rts_cts: bool = False,
+        slot_commit: bool = False,
         cw_min: int = CW_MIN,
         cw_max: int = CW_MAX,
         retry_limit: int = 7,
@@ -105,6 +108,15 @@ class CsmaMac(MacBase):
             raise ValueError("retry limit must be non-negative")
         self.use_acks = use_acks
         self.use_rts_cts = use_rts_cts
+        #: 802.11 slotting semantics: a station whose countdown expires at
+        #: the very instant another station starts transmitting is already
+        #: committed -- CCA takes a slot to detect energy (that is why
+        #: aSlotTime exists), so same-slot decisions collide.  Off by
+        #: default, which preserves the historical zero-latency carrier
+        #: sense where simultaneous deciders defer synchronously; on, the
+        #: MAC matches the slotted-collision structure Bianchi's model (and
+        #: real DCF hardware) assumes.  See ``repro.networking.bianchi``.
+        self.slot_commit = slot_commit
         self.cw_min = cw_min
         self.cw_max = cw_max
         self.retry_limit = retry_limit
@@ -121,6 +133,7 @@ class CsmaMac(MacBase):
         # the same scheduler slot instead of allocating a handle per timeout.
         self._timer = sim.timer()
         self._backoff_started_at: Optional[float] = None
+        self._timer_deadline = float("inf")
         self._state = "idle"
         self._awaiting_ack_for: Optional[Frame] = None
         self._awaiting_cts_for: Optional[Frame] = None
@@ -155,17 +168,35 @@ class CsmaMac(MacBase):
         if packet is None:
             self._pending = None
             return
-        dst, payload_bytes = packet
+        dst, payload_bytes = packet[0], packet[1]
+        # Forwarding sources hand out (next_hop, payload, FlowTag) triples;
+        # plain sources keep the historical two-element form.
+        flow = packet[2] if len(packet) > 2 else None
         rate = self.rate_selector.select((self.node_id, dst))
-        self._pending = Frame(
-            kind=FrameKind.DATA,
-            src=self.node_id,
-            dst=dst,
-            payload_bytes=payload_bytes,
-            rate=rate,
-            sequence=self.next_sequence(),
-            enqueued_at=self.sim.now,
-        )
+        if flow is None:
+            self._pending = Frame(
+                kind=FrameKind.DATA,
+                src=self.node_id,
+                dst=dst,
+                payload_bytes=payload_bytes,
+                rate=rate,
+                sequence=self.next_sequence(),
+                enqueued_at=self.sim.now,
+            )
+        else:
+            enqueued_at = flow.enqueued_at if flow.enqueued_at >= 0.0 else self.sim.now
+            self._pending = Frame(
+                kind=FrameKind.DATA,
+                src=self.node_id,
+                dst=dst,
+                payload_bytes=payload_bytes,
+                rate=rate,
+                sequence=self.next_sequence(),
+                enqueued_at=enqueued_at,
+                flow_src=flow.flow_src,
+                flow_dst=flow.flow_dst,
+                hops=flow.hops,
+            )
 
     # ------------------------------------------------------------------ access
 
@@ -192,6 +223,7 @@ class CsmaMac(MacBase):
 
     def _start_difs(self) -> None:
         self._state = "difs"
+        self._timer_deadline = self.sim.now + self.difs_s
         self._timer.arm(self.difs_s, self._difs_elapsed)
 
     def _difs_elapsed(self) -> None:
@@ -206,6 +238,7 @@ class CsmaMac(MacBase):
             self._transmit_pending()
             return
         self._backoff_started_at = self.sim.now
+        self._timer_deadline = self.sim.now + slots * self.slot_s
         self._timer.arm(slots * self.slot_s, self._backoff_elapsed)
 
     def _backoff_elapsed(self) -> None:
@@ -261,11 +294,33 @@ class CsmaMac(MacBase):
 
     # ------------------------------------------------------------------ radio events
 
+    def _committed_to_transmit(self) -> bool:
+        """Whether the pending countdown is due at this very instant.
+
+        Under ``slot_commit``, a busy indication arriving exactly when the
+        countdown expires is too late to honour: the station decided to
+        transmit in this slot and cannot sense the other decider within it.
+        The still-armed timer fires later in the same timestamp batch and
+        the frames collide on the air, as they would on real hardware.
+        """
+        if not self.slot_commit:
+            return False
+        if self.sim.now < self._timer_deadline - 1e-12:
+            return False
+        # Only a countdown that ends in a transmission commits: DIFS expiry
+        # flows straight into _transmit_pending only when no backoff slots
+        # remain to count.
+        return self._state == "backoff" or not self._backoff_slots_remaining
+
     def _on_channel_busy(self) -> None:
         if self._state == "difs":
+            if self._committed_to_transmit():
+                return
             self._cancel_timer()
             self._state = "wait_idle"
         elif self._state == "backoff":
+            if self._committed_to_transmit():
+                return
             self._cancel_timer()
             self._freeze_backoff()
             self._state = "wait_idle"

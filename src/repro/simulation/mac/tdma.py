@@ -127,17 +127,35 @@ class TdmaMac(MacBase):
         if packet is None:
             self._pending = None
             return
-        dst, payload_bytes = packet
+        dst, payload_bytes = packet[0], packet[1]
+        # Forwarding sources hand out (next_hop, payload, FlowTag) triples;
+        # plain sources keep the historical two-element form.
+        flow = packet[2] if len(packet) > 2 else None
         rate = self.rate_selector.select((self.node_id, dst))
-        self._pending = Frame(
-            kind=FrameKind.DATA,
-            src=self.node_id,
-            dst=dst,
-            payload_bytes=payload_bytes,
-            rate=rate,
-            sequence=self.next_sequence(),
-            enqueued_at=self.sim.now,
-        )
+        if flow is None:
+            self._pending = Frame(
+                kind=FrameKind.DATA,
+                src=self.node_id,
+                dst=dst,
+                payload_bytes=payload_bytes,
+                rate=rate,
+                sequence=self.next_sequence(),
+                enqueued_at=self.sim.now,
+            )
+        else:
+            enqueued_at = flow.enqueued_at if flow.enqueued_at >= 0.0 else self.sim.now
+            self._pending = Frame(
+                kind=FrameKind.DATA,
+                src=self.node_id,
+                dst=dst,
+                payload_bytes=payload_bytes,
+                rate=rate,
+                sequence=self.next_sequence(),
+                enqueued_at=enqueued_at,
+                flow_src=flow.flow_src,
+                flow_dst=flow.flow_dst,
+                hops=flow.hops,
+            )
 
     def _in_own_slot(self) -> bool:
         return self.schedule.owner_at(self.sim.now) == self.node_id

@@ -110,6 +110,9 @@ class WirelessNetwork:
         self.cca_noise_db = cca_noise_db
         self.reception = reception if reception is not None else ReceptionModel()
         self.nodes: Dict[Hashable, Node] = {}
+        #: Set by builders that layer multi-hop forwarding on top (see
+        #: :mod:`repro.networking`); ``None`` for direct single-hop networks.
+        self.route_table = None
         self._rng = np.random.default_rng(seed)
         self._child_seeds: list = []
         self._started = False

@@ -1,0 +1,135 @@
+"""DelayReservoir: bounded sampling, determinism, and percentile wiring."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation.stats import (
+    DEFAULT_RESERVOIR_CAPACITY,
+    DelayReservoir,
+    NodeStats,
+    _reservoir_seed,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+class TestDelayReservoir:
+    def test_exact_below_capacity(self):
+        reservoir = DelayReservoir(capacity=10)
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            reservoir.add(v)
+        assert reservoir.count == 5
+        assert reservoir.percentiles((50.0,)) == (3.0,)
+        assert reservoir.percentiles((0.0, 100.0)) == (1.0, 5.0)
+
+    def test_empty_is_nan(self):
+        p50, p99 = DelayReservoir().percentiles((50.0, 99.0))
+        assert math.isnan(p50) and math.isnan(p99)
+
+    def test_capacity_bound_holds(self):
+        reservoir = DelayReservoir(capacity=32, seed=1)
+        for v in range(1000):
+            reservoir.add(float(v))
+        assert len(reservoir.samples) == 32
+        assert reservoir.count == 1000
+
+    def test_same_seed_same_samples(self):
+        a, b = DelayReservoir(capacity=16, seed=42), DelayReservoir(capacity=16, seed=42)
+        for v in range(500):
+            a.add(float(v))
+            b.add(float(v))
+        assert a.samples == b.samples
+
+    def test_different_seeds_diverge_after_overflow(self):
+        a, b = DelayReservoir(capacity=16, seed=1), DelayReservoir(capacity=16, seed=2)
+        for v in range(500):
+            a.add(float(v))
+            b.add(float(v))
+        assert a.samples != b.samples
+
+    def test_reservoir_stays_representative(self):
+        # Algorithm R keeps a uniform sample: feeding 0..9999 must leave the
+        # median estimate near the true median, not stuck at either end.
+        reservoir = DelayReservoir(capacity=DEFAULT_RESERVOIR_CAPACITY, seed=7)
+        for v in range(10000):
+            reservoir.add(float(v))
+        (p50,) = reservoir.percentiles((50.0,))
+        assert 3500.0 < p50 < 6500.0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            DelayReservoir(capacity=0)
+
+
+class TestReservoirSeed:
+    def test_deterministic_and_link_specific(self):
+        assert _reservoir_seed("n001", "n000") == _reservoir_seed("n001", "n000")
+        assert _reservoir_seed("n001", "n000") != _reservoir_seed("n000", "n001")
+
+
+class TestNodeStatsPercentiles:
+    def make_stats(self):
+        stats = NodeStats("rx")
+        stats.clock = FakeClock()
+        return stats
+
+    def deliver(self, stats, src, enqueued_at, now):
+        stats.clock.now = now
+        from repro.capacity.rates import rate_by_mbps
+        from repro.simulation.frames import Frame, FrameKind
+
+        stats.record_reception(
+            Frame(
+                kind=FrameKind.DATA, src=src, dst="rx", payload_bytes=100,
+                rate=rate_by_mbps(6.0), enqueued_at=enqueued_at,
+            )
+        )
+
+    def test_percentiles_track_observed_delays(self):
+        stats = self.make_stats()
+        for i in range(11):
+            self.deliver(stats, "tx", enqueued_at=0.0, now=0.001 * (i + 1))
+        p50, p99 = stats.delay_percentiles_from("tx")
+        assert p50 == pytest.approx(0.006)
+        assert p99 == pytest.approx(0.011, abs=1e-3)
+        assert stats.delay_percentiles_from("tx", qs=(100.0,)) == (pytest.approx(0.011),)
+
+    def test_unseen_origin_is_nan(self):
+        stats = self.make_stats()
+        assert all(math.isnan(v) for v in stats.delay_percentiles_from("ghost"))
+
+    def test_untimestamped_frames_skip_reservoir(self):
+        stats = self.make_stats()
+        self.deliver(stats, "tx", enqueued_at=-1.0, now=1.0)
+        assert stats.packets_from["tx"] == 1
+        assert "tx" not in stats.delay_reservoir_from
+
+    def test_reset_clears_reservoirs_and_drops(self):
+        stats = self.make_stats()
+        self.deliver(stats, "tx", enqueued_at=0.0, now=0.5)
+        stats.record_queue_drop("tx", "rx")
+        stats.reset()
+        assert stats.queue_drops == 0
+        assert not stats.queue_drops_for
+        assert not stats.delay_reservoir_from
+        assert all(math.isnan(v) for v in stats.delay_percentiles_from("tx"))
+
+    def test_identical_runs_identical_percentiles(self):
+        # The reservoir rng is seeded from the link identity, so replaying
+        # the same delivery stream reproduces the percentile estimates even
+        # past the capacity bound.
+        columns = []
+        for _ in range(2):
+            stats = self.make_stats()
+            for i in range(2000):
+                self.deliver(stats, "tx", enqueued_at=0.0, now=1e-4 * (i % 37 + 1))
+            columns.append(stats.delay_percentiles_from("tx"))
+        assert columns[0] == columns[1]
+        assert np.isfinite(columns[0]).all()

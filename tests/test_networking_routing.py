@@ -1,0 +1,106 @@
+"""RouteTable: BFS hop counts, next-hop tie-breaking, rx-matrix thresholds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.networking import RouteTable
+
+
+def chain_adjacency(n):
+    """Undirected line a0 - a1 - ... - a(n-1)."""
+    adj = np.zeros((n, n), dtype=bool)
+    for i in range(n - 1):
+        adj[i, i + 1] = adj[i + 1, i] = True
+    return adj
+
+
+class TestFromAdjacency:
+    def test_line_hop_counts_and_path(self):
+        ids = ["a", "b", "c", "d"]
+        table = RouteTable.from_adjacency(ids, chain_adjacency(4))
+        assert table.hop_count("a", "d") == 3
+        assert table.hop_count("a", "b") == 1
+        assert table.hop_count("a", "a") == 0
+        assert table.next_hop("a", "d") == "b"
+        assert table.next_hop("b", "d") == "c"
+        assert table.path("a", "d") == ["a", "b", "c", "d"]
+        assert table.path("a", "a") == ["a"]
+
+    def test_self_has_no_next_hop(self):
+        table = RouteTable.from_adjacency(["a", "b"], chain_adjacency(2))
+        assert table.next_hop("a", "a") is None
+        assert not table.has_route("a", "a")
+
+    def test_disconnected_pair_unreachable(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = adj[1, 0] = True  # c is isolated
+        table = RouteTable.from_adjacency(["a", "b", "c"], adj)
+        assert table.hop_count("a", "c") == -1
+        assert not table.has_route("a", "c")
+        assert table.next_hop("a", "c") is None
+        assert table.path("a", "c") is None
+
+    def test_tie_break_prefers_lowest_index(self):
+        # Diamond: a -> {b, c} -> d; both two-hop routes are shortest, so the
+        # lower-index neighbour b must win deterministically.
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[0, 1] = adj[0, 2] = adj[1, 3] = adj[2, 3] = True
+        table = RouteTable.from_adjacency(["a", "b", "c", "d"], adj)
+        assert table.hop_count("a", "d") == 2
+        assert table.next_hop("a", "d") == "b"
+
+    def test_directed_asymmetry(self):
+        adj = np.zeros((2, 2), dtype=bool)
+        adj[0, 1] = True  # a hears at b, not the reverse
+        table = RouteTable.from_adjacency(["a", "b"], adj)
+        assert table.hop_count("a", "b") == 1
+        assert table.hop_count("b", "a") == -1
+
+    def test_diagonal_ignored(self):
+        adj = np.eye(3, dtype=bool)
+        table = RouteTable.from_adjacency(["a", "b", "c"], adj)
+        assert (table.hop_counts == -1).sum() == 6  # every off-diagonal pair
+        assert table.hop_count("a", "a") == 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            RouteTable.from_adjacency(["a", "b"], np.zeros((3, 3), dtype=bool))
+
+    def test_shortest_path_beats_longer_detour(self):
+        # a - b - d plus the detour a - c, c - e, e - d: BFS must pick 2 hops.
+        adj = np.zeros((5, 5), dtype=bool)
+        for i, j in [(0, 1), (1, 3), (0, 2), (2, 4), (4, 3)]:
+            adj[i, j] = adj[j, i] = True
+        table = RouteTable.from_adjacency(["a", "b", "c", "d", "e"], adj)
+        assert table.hop_count("a", "d") == 2
+        assert table.path("a", "d") == ["a", "b", "d"]
+
+
+class TestFromRxMatrix:
+    def test_threshold_selects_links(self):
+        rx = np.array(
+            [
+                [-np.inf, -60.0, -95.0],
+                [-60.0, -np.inf, -70.0],
+                [-95.0, -70.0, -np.inf],
+            ]
+        )
+        table = RouteTable.from_rx_matrix(["a", "b", "c"], rx, threshold_dbm=-80.0)
+        # a <-> c is below threshold, so a reaches c through b.
+        assert table.hop_count("a", "c") == 2
+        assert table.next_hop("a", "c") == "b"
+        assert table.hop_count("a", "b") == 1
+
+    def test_inf_diagonal_never_links(self):
+        rx = np.full((2, 2), -50.0)
+        np.fill_diagonal(rx, -np.inf)
+        table = RouteTable.from_rx_matrix(["a", "b"], rx, threshold_dbm=-80.0)
+        assert table.hop_count("a", "a") == 0
+        assert not table.adjacency[0, 0]
+
+    def test_repr_reports_routed_pairs(self):
+        table = RouteTable.from_adjacency(["a", "b"], chain_adjacency(2))
+        assert "n_nodes=2" in repr(table)
+        assert "routed_pairs=2" in repr(table)
