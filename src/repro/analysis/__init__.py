@@ -1,0 +1,42 @@
+"""simlint: invariant-enforcing static analysis for the repro codebase.
+
+The repo's reproducibility guarantees -- bit-identical replays across
+engine rewrites, sha256-stable cache keys, deterministic seeded RNG
+streams -- are properties a single stray line can break long before any
+equivalence test runs.  This package machine-checks them at the AST level:
+
+* a small rule engine (:mod:`repro.analysis.engine`) walking ``src/repro``
+  with per-file :class:`~repro.analysis.context.FileContext` dispatch,
+* ~8 project-specific rules (:mod:`repro.analysis.rules`) encoding the
+  invariants PRs 2-6 established by convention,
+* ``# simlint: disable=<rule>`` suppression comments for justified
+  exceptions at the line, and a committed JSON baseline
+  (:mod:`repro.analysis.baseline`) for grandfathered findings,
+* text and ``--json`` reporters (:mod:`repro.analysis.report`).
+
+Run it as ``python -m repro.analysis check`` (see :mod:`repro.analysis.__main__`)
+or from tests via :func:`run_checks` / :func:`check_source`.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineComparison
+from .context import FileContext
+from .engine import Rule, check_source, run_checks
+from .findings import Finding
+from .report import render_json, render_text
+from .rules import RULE_CLASSES, default_rules
+
+__all__ = [
+    "Baseline",
+    "BaselineComparison",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "RULE_CLASSES",
+    "check_source",
+    "default_rules",
+    "render_json",
+    "render_text",
+    "run_checks",
+]

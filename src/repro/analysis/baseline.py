@@ -1,0 +1,118 @@
+"""Committed JSON baseline for grandfathered findings.
+
+The baseline lets the suite be adopted with outstanding findings that are
+*known and justified* (each entry carries an optional ``note`` saying why)
+without weakening the gate for new code: a finding passes only if it
+matches an entry by ``(rule, path, fingerprint)``, and fingerprints hash
+the offending source line, so editing a baselined line re-surfaces it.
+
+Matching is multiset-aware (two identical offending lines in one file need
+two entries), and entries that no longer match anything are reported as
+*stale* so the baseline can only shrink -- the self-check test fails on
+staleness, which keeps the committed file honest.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineComparison"]
+
+_SCHEMA = 1
+
+
+@dataclass(slots=True)
+class BaselineComparison:
+    """Outcome of matching a run's findings against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No findings beyond the baseline (staleness reported separately)."""
+        return not self.new
+
+
+class Baseline:
+    """A committed set of grandfathered findings."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Sequence[Dict[str, Any]] = ()) -> None:
+        self.entries: List[Dict[str, Any]] = [dict(entry) for entry in entries]
+
+    # -- persistence -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("schema") != _SCHEMA:
+            raise ValueError(f"unsupported simlint baseline schema {payload.get('schema')!r}")
+        return cls(payload.get("findings", []))
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.render() + "\n", encoding="utf-8")
+
+    def render(self) -> str:
+        payload = {"schema": _SCHEMA, "findings": self.entries}
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], notes: Dict[str, str] | None = None
+    ) -> "Baseline":
+        """A baseline grandfathering exactly ``findings``.
+
+        ``notes`` maps fingerprints to justification strings; entries keep
+        line/message for human readers, but only (rule, path, fingerprint)
+        participates in matching.
+        """
+        notes = notes or {}
+        entries = []
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+            entry: Dict[str, Any] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "fingerprint": finding.fingerprint,
+                "line": finding.line,
+                "message": finding.message,
+            }
+            note = notes.get(finding.fingerprint)
+            if note:
+                entry["note"] = note
+            entries.append(entry)
+        return cls(entries)
+
+    # -- matching --------------------------------------------------------------
+
+    @staticmethod
+    def _key(entry: Dict[str, Any]) -> Tuple[str, str, str]:
+        return (str(entry["rule"]), str(entry["path"]), str(entry["fingerprint"]))
+
+    def compare(self, findings: Sequence[Finding]) -> BaselineComparison:
+        """Split findings into new vs baselined; report unmatched entries."""
+        budget: Counter[Tuple[str, str, str]] = Counter(
+            self._key(entry) for entry in self.entries
+        )
+        comparison = BaselineComparison()
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.fingerprint)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                comparison.baselined.append(finding)
+            else:
+                comparison.new.append(finding)
+        for entry in self.entries:
+            key = self._key(entry)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                comparison.stale.append(dict(entry))
+        return comparison

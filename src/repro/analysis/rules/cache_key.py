@@ -1,0 +1,120 @@
+"""cache-key-stability: optional spec fields must be omitted when unset.
+
+Sweep results are cached under a sha256 of the scenario config dict
+(:class:`repro.runner.cache.ResultCache`).  The rule that has kept those
+keys stable across PRs 4 and 6: when a new optional field is added to
+:class:`repro.scenarios.Scenario`, ``as_config()`` must *omit* it while it
+holds its unset default (``None`` or an empty param dict).  Then every
+pre-existing scenario hashes exactly as before and old cache entries keep
+hitting; include the field unconditionally and every cached sweep on disk
+is silently invalidated.
+
+Statically this is checked with a deliberate heuristic: in any class that
+defines ``as_config``, every dataclass field whose default is ``None`` or
+``field(default_factory=dict/list/set/tuple)`` must be *mentioned by name*
+(as a string literal) somewhere inside ``as_config`` -- the omit-when-unset
+dance always names the field (``del config["routing"]``, membership tests,
+key lists).  A brand-new optional field added without touching
+``as_config`` is exactly the regression this catches, at the field's
+definition line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..context import FileContext
+from ..engine import Rule
+from ..findings import Finding
+
+__all__ = ["CacheKeyStabilityRule"]
+
+_MUTABLE_FACTORIES = {"dict", "list", "set", "tuple"}
+
+
+def _optional_default(stmt: ast.AnnAssign) -> bool:
+    """Whether a ``name: T = default`` class-body field has an unset-style
+    default (None, or a field(default_factory=dict-like))."""
+    value = stmt.value
+    if value is None:
+        return False
+    if isinstance(value, ast.Constant) and value.value is None:
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+        if name != "field":
+            return False
+        for keyword in value.keywords:
+            if keyword.arg == "default" and (
+                isinstance(keyword.value, ast.Constant) and keyword.value.value is None
+            ):
+                return True
+            if keyword.arg == "default_factory":
+                factory = keyword.value
+                factory_name = getattr(factory, "id", None)
+                if factory_name in _MUTABLE_FACTORIES:
+                    return True
+    return False
+
+
+def _find_as_config(node: ast.ClassDef) -> Optional[ast.FunctionDef]:
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "as_config":
+            return stmt
+    return None
+
+
+class CacheKeyStabilityRule(Rule):
+    name = "cache-key-stability"
+    description = (
+        "In classes with an as_config() cache-key builder, optional fields "
+        "(default None / empty param dict) must be handled by name inside "
+        "as_config -- unconditional inclusion changes every existing cache key."
+    )
+    scopes = ("repro.scenarios",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            as_config = _find_as_config(node)
+            if as_config is None:
+                continue
+            mentioned = self._string_constants(as_config)
+            for field_name, stmt in self._optional_fields(node):
+                if field_name in mentioned:
+                    continue
+                findings.append(
+                    self.finding(
+                        ctx,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"optional field {field_name!r} is not handled in "
+                        f"{node.name}.as_config(); omit it while unset or every "
+                        f"pre-existing cache key changes",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _optional_fields(node: ast.ClassDef) -> List[Tuple[str, ast.AnnAssign]]:
+        fields: List[Tuple[str, ast.AnnAssign]] = []
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and _optional_default(stmt)
+            ):
+                fields.append((stmt.target.id, stmt))
+        return fields
+
+    @staticmethod
+    def _string_constants(func: ast.FunctionDef) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                names.add(node.value)
+        return names

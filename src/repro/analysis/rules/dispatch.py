@@ -1,0 +1,106 @@
+"""registry-dispatch: construct topologies/MACs/traffic through the registries.
+
+PR 4 made :data:`repro.registry.TOPOLOGIES` / :data:`MACS` /
+:data:`TRAFFIC_MODELS` the single dispatch surface so plugin workloads ride
+``Scenario(mac=..., traffic=...)`` without touching internals.  That only
+stays true while no other module hard-codes the concrete constructors: a
+``CsmaMac(...)`` call inside an experiment bypasses ``mac_params`` plumbing,
+ignores plugin overrides, and re-freezes the dispatch point the registry
+was built to open.
+
+The rule flags direct calls to the registered builtin factories outside
+their *home modules* (where they are defined and registered) and outside
+``repro.registry`` / ``repro.api``.  Everything else -- experiments,
+runner, testbed, scenarios -- must go through ``Scenario`` fields,
+``WirelessNetwork.add_node(mac=...)``, or the registries themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Tuple
+
+from ..context import FileContext
+from ..engine import Rule
+from ..findings import Finding
+
+__all__ = ["RegistryDispatchRule"]
+
+#: Constructor name -> module prefixes where direct calls are legitimate
+#: (definition sites and the modules that register factories over them).
+_HOME_MODULES: Dict[str, Tuple[str, ...]] = {
+    # MACs: defined under repro.simulation.mac, registered by
+    # repro.simulation.network's factory functions.
+    "CsmaMac": ("repro.simulation.mac", "repro.simulation.network"),
+    "TdmaMac": ("repro.simulation.mac", "repro.simulation.network"),
+    # Traffic sources: defined in repro.simulation.traffic, registered by
+    # the scenario-centric factories in repro.scenarios.spec.
+    "SaturatedTraffic": ("repro.simulation.traffic", "repro.scenarios.spec"),
+    "PoissonTraffic": ("repro.simulation.traffic", "repro.scenarios.spec"),
+    # Builtin topology generators (registered in repro.scenarios.topologies;
+    # everyone else dispatches via generate_topology / TOPOLOGIES).
+    "uniform_disc": ("repro.scenarios.topologies",),
+    "grid": ("repro.scenarios.topologies",),
+    "clustered": ("repro.scenarios.topologies",),
+    "scale_free": ("repro.scenarios.topologies",),
+    "hidden_terminal": ("repro.scenarios.topologies",),
+    "exposed_terminal": ("repro.scenarios.topologies",),
+    "line": ("repro.scenarios.topologies",),
+}
+
+#: Generator-function names are only matched as bare calls (``grid(...)``
+#: after an import); method spellings like ``ax.grid(...)`` are unrelated.
+_BARE_NAME_ONLY = {
+    "uniform_disc", "grid", "clustered", "scale_free",
+    "hidden_terminal", "exposed_terminal", "line",
+}
+
+#: Modules that may always dispatch directly (the registry layer itself).
+_ALWAYS_ALLOWED = ("repro.registry", "repro.api")
+
+
+def _allowed(module: str, prefixes: Tuple[str, ...]) -> bool:
+    for prefix in prefixes + _ALWAYS_ALLOWED:
+        if module == prefix or module.startswith(prefix + "."):
+            return True
+    return False
+
+
+class RegistryDispatchRule(Rule):
+    name = "registry-dispatch"
+    description = (
+        "Forbid direct topology/MAC/traffic constructor calls outside their "
+        "home modules and repro.registry/repro.api -- dispatch through the "
+        "shared registries so plugins stay first-class."
+    )
+    scopes = ("repro",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+                if name in _BARE_NAME_ONLY:
+                    continue
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            prefixes = _HOME_MODULES.get(name)
+            if prefixes is None or _allowed(ctx.module, prefixes):
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"direct construction of {name} outside its home modules; "
+                    f"dispatch through the registry "
+                    f"(Scenario fields / add_node(mac=...) / "
+                    f"TOPOLOGIES-MACS-TRAFFIC_MODELS)",
+                )
+            )
+        return findings

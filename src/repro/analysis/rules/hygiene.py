@@ -1,0 +1,188 @@
+"""General determinism/correctness hygiene rules.
+
+Three rules that guard classic Python footguns with direct reproducibility
+consequences in this codebase:
+
+* **no-mutable-default-args** -- a mutable default (``def f(x=[])``) is one
+  shared object across every call; state leaks between scenario runs and
+  between sweep tasks in the same worker process.
+* **no-float-equality** -- ``x == 0.3`` style literal comparisons are
+  representation-dependent; thresholds and tolerances belong in explicit
+  ``<=`` bands or ``math.isclose``.  Comparisons against exactly ``0.0``
+  are exempt: zero is a widely used *sentinel* here (``sigma_db == 0.0``
+  means "shadowing disabled", assigned from the same literal), not an
+  arithmetic result.
+* **deterministic-dict-iteration** -- iterating a ``set`` feeds
+  arbitrary-ordered data into whatever consumes the loop; when that output
+  is ordered (lists, config dicts, schedules, cache keys) the run stops
+  being reproducible.  Sets are fine for membership; sort them before
+  iteration (``sorted(s)``) or keep order in a list/dict.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..context import FileContext
+from ..engine import Rule
+from ..findings import Finding
+
+__all__ = [
+    "NoMutableDefaultArgsRule",
+    "NoFloatEqualityRule",
+    "DeterministicDictIterationRule",
+]
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+class NoMutableDefaultArgsRule(Rule):
+    name = "no-mutable-default-args"
+    description = (
+        "Forbid mutable default argument values (lists/dicts/sets or calls "
+        "constructing them) -- one shared instance leaks state across calls."
+    )
+    scopes = ("repro",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in [*args.defaults, *args.kw_defaults]:
+                if default is None:
+                    continue
+                if self._is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            default.lineno,
+                            default.col_offset,
+                            f"mutable default argument in {label}(); use None "
+                            f"and construct inside the body",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+            return name in _MUTABLE_CALLS
+        return False
+
+
+class NoFloatEqualityRule(Rule):
+    name = "no-float-equality"
+    description = (
+        "Forbid ==/!= comparison against non-zero float literals; use "
+        "explicit tolerance bands or math.isclose.  Exact 0.0 comparisons "
+        "are allowed (sentinel idiom)."
+    )
+    scopes = ("repro",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                flagged = isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    self._nonzero_float_literal(left)
+                    or self._nonzero_float_literal(right)
+                )
+                left = right
+                if flagged:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            "equality comparison against a float literal is "
+                            "representation-dependent; compare with a "
+                            "tolerance (math.isclose) or restructure",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _nonzero_float_literal(node: ast.expr) -> bool:
+        # Unwrap unary minus: -1.5 parses as UnaryOp(USub, Constant(1.5)).
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value != 0.0
+        )
+
+
+class DeterministicDictIterationRule(Rule):
+    name = "deterministic-dict-iteration"
+    description = (
+        "Forbid iterating sets into ordered output (for-loops, "
+        "comprehensions, list()/tuple() conversions); sort first so results "
+        "are order-deterministic."
+    )
+    scopes = ("repro",)
+
+    _ORDER_SENSITIVE_CONVERSIONS = {"list", "tuple", "enumerate"}
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                self._check_iterable(ctx, node.iter, findings)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                # Set *output* (SetComp) is order-free; its input still feeds
+                # evaluation order, but only ordered outputs are flagged.
+                if isinstance(node, ast.SetComp):
+                    continue
+                for generator in node.generators:
+                    self._check_iterable(ctx, generator.iter, findings)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                name = func.id if isinstance(func, ast.Name) else None
+                if name in self._ORDER_SENSITIVE_CONVERSIONS and node.args:
+                    self._check_iterable(ctx, node.args[0], findings)
+        return findings
+
+    def _check_iterable(
+        self, ctx: FileContext, node: ast.expr, findings: List[Finding]
+    ) -> None:
+        if self._is_set_expr(node):
+            findings.append(
+                self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "iterating a set in ordered context -- set order is "
+                    "arbitrary across runs/processes; use sorted(...) or an "
+                    "ordered container",
+                )
+            )
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                return True
+            # set operations on the result of set(...): set(a) | set(b)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            return (
+                DeterministicDictIterationRule._is_set_expr(node.left)
+                or DeterministicDictIterationRule._is_set_expr(node.right)
+            )
+        return False

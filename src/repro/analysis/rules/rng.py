@@ -1,0 +1,119 @@
+"""no-unseeded-rng: every random stream must be explicitly seeded.
+
+Bit-identical replay (the property the legacy-engine and pruning
+equivalence suites pin) dies the moment any code draws from module-level
+global RNG state (``random.random()``, ``np.random.normal(...)``) or
+constructs a generator from OS entropy (``np.random.default_rng()`` with no
+seed).  The only RNG constructions allowed inside ``src/repro`` are the
+explicitly seeded forms:
+
+* ``np.random.default_rng(seed_or_seedsequence)`` (with an argument),
+* ``np.random.Generator(bitgen)`` / ``np.random.PCG64(seed)`` /
+  ``np.random.SeedSequence(...)`` and the other BitGenerator constructors,
+* ``random.Random(seed)`` (with an argument).
+
+``field(default_factory=np.random.default_rng)`` is the sneaky spelling of
+the same bug -- the factory is invoked with zero arguments at dataclass
+instantiation -- so bare references passed as ``default_factory`` are
+flagged too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..context import FileContext
+from ..engine import Rule
+from ..findings import Finding
+
+__all__ = ["NoUnseededRngRule"]
+
+#: Constructors that are deterministic *given their arguments*; calling them
+#: with at least one argument is the sanctioned way to make a stream.
+_SEEDED_CONSTRUCTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+    "numpy.random.SeedSequence",
+}
+
+# Note: there is deliberately no zero-argument allowance -- even
+# SeedSequence() with no entropy draws from the OS.
+
+_RNG_PREFIXES = ("random.", "numpy.random.")
+
+
+def _is_rng_path(path: str) -> bool:
+    return any(path.startswith(prefix) for prefix in _RNG_PREFIXES)
+
+
+class NoUnseededRngRule(Rule):
+    name = "no-unseeded-rng"
+    description = (
+        "Forbid module-level random.* / np.random.* draws and unseeded "
+        "generator construction; only explicitly seeded Generator(PCG64) / "
+        "random.Random(seed) / SeedSequence forms are allowed."
+    )
+    scopes = ("repro",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                self._check_call(ctx, node, findings)
+                self._check_default_factory(ctx, node, findings)
+        return findings
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, findings: List[Finding]
+    ) -> None:
+        path = ctx.resolve(node.func)
+        if path is None or not _is_rng_path(path):
+            return
+        if path in _SEEDED_CONSTRUCTORS:
+            if node.args or node.keywords:
+                return
+            findings.append(
+                self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"{path}() without a seed draws OS entropy; pass an "
+                    f"explicit seed or SeedSequence",
+                )
+            )
+            return
+        findings.append(
+            self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"call to {path} uses module-level global RNG state; "
+                f"construct a seeded Generator/random.Random and draw from it",
+            )
+        )
+
+    def _check_default_factory(
+        self, ctx: FileContext, node: ast.Call, findings: List[Finding]
+    ) -> None:
+        for keyword in node.keywords:
+            if keyword.arg != "default_factory":
+                continue
+            path = ctx.resolve(keyword.value)
+            if path is None or not _is_rng_path(path):
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    keyword.value.lineno,
+                    keyword.value.col_offset,
+                    f"default_factory={path} constructs an unseeded stream at "
+                    f"instantiation; use a lambda with an explicit seed",
+                )
+            )

@@ -1,0 +1,203 @@
+"""slots-hot-path: hot-path classes declare ``__slots__`` all the way down.
+
+The PR 3 hot-path overhaul showed per-instance ``__dict__`` allocation is
+real money on classes created or touched millions of times per run (frames,
+radios, timers, queue entries).  ``__slots__`` only pays off when *every*
+class in the MRO declares it -- one slot-less base silently re-adds the
+dict to every instance -- so this rule checks the whole local inheritance
+chain, not just the class itself.
+
+Scope: ``repro.simulation`` and ``repro.networking`` (the packet-rate hot
+path).  Recognised slot declarations: a literal ``__slots__`` assignment in
+the class body, ``@dataclass(slots=True)``, and ``NamedTuple`` subclasses
+(which are slotted by construction).  Exempt: enums, TypedDicts, Protocols,
+and exception types, where a ``__dict__`` is inherent or harmless.
+
+The rule collects class info across the entire scanned tree (bases may live
+in another module) and reports in :meth:`finalize`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..context import FileContext
+from ..engine import Rule
+from ..findings import Finding
+
+__all__ = ["SlotsHotPathRule"]
+
+#: Bases that make a class exempt (slots are meaningless or impossible).
+_EXEMPT_BASES = {
+    "Enum", "IntEnum", "StrEnum", "Flag", "IntFlag",
+    "TypedDict", "Protocol",
+    "Exception", "BaseException", "Warning", "type",
+}
+
+#: Bases that imply the class is already slotted by construction.
+_IMPLICITLY_SLOTTED_BASES = {"NamedTuple"}
+
+_REPORT_SCOPES = ("repro.simulation", "repro.networking")
+
+
+@dataclass(slots=True)
+class _ClassInfo:
+    name: str
+    module: str
+    path: str
+    line: int
+    col: int
+    snippet: str
+    has_slots: bool
+    exempt: bool
+    base_names: Tuple[str, ...]
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, ast.Subscript):  # Generic[T] -> Generic
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _declares_slots_inline(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _dataclass_slots_decorator(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        if _terminal_name(decorator.func) != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "slots"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+class SlotsHotPathRule(Rule):
+    name = "slots-hot-path"
+    description = (
+        "Classes in repro.simulation / repro.networking must declare "
+        "__slots__ (or @dataclass(slots=True)), including every base in "
+        "the MRO."
+    )
+    # Collect classes package-wide so out-of-scope bases resolve; findings
+    # are only emitted for classes inside _REPORT_SCOPES.
+    scopes = ("repro",)
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, _ClassInfo] = {}
+        self._order: List[str] = []
+
+    def _in_report_scope(self, module: str) -> bool:
+        return any(
+            module == scope or module.startswith(scope + ".")
+            for scope in _REPORT_SCOPES
+        )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = tuple(
+                name for name in (_terminal_name(base) for base in node.bases) if name
+            )
+            exempt = bool(_EXEMPT_BASES.intersection(base_names))
+            has_slots = (
+                _declares_slots_inline(node)
+                or _dataclass_slots_decorator(node)
+                or bool(_IMPLICITLY_SLOTTED_BASES.intersection(base_names))
+            )
+            info = _ClassInfo(
+                name=node.name,
+                module=ctx.module,
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                snippet=ctx.snippet(node.lineno),
+                has_slots=has_slots,
+                exempt=exempt,
+                base_names=base_names,
+            )
+            if node.name not in self._classes:
+                self._order.append(node.name)
+            self._classes[node.name] = info
+        return ()
+
+    def _unslotted_ancestor(self, info: _ClassInfo) -> Optional[_ClassInfo]:
+        """First ancestor (resolvable by simple name) lacking slots."""
+        seen = {info.name}
+        stack = list(info.base_names)
+        while stack:
+            base_name = stack.pop(0)
+            if base_name in seen:
+                continue
+            seen.add(base_name)
+            base = self._classes.get(base_name)
+            if base is None or base.exempt:
+                continue
+            if not base.has_slots:
+                return base
+            stack.extend(base.base_names)
+        return None
+
+    def finalize(self) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for name in self._order:
+            info = self._classes[name]
+            if info.exempt or not self._in_report_scope(info.module):
+                continue
+            if not info.has_slots:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=info.path,
+                        line=info.line,
+                        col=info.col,
+                        message=(
+                            f"hot-path class {info.name} must declare __slots__ "
+                            f"(or use @dataclass(slots=True))"
+                        ),
+                        snippet=info.snippet,
+                    )
+                )
+                continue
+            ancestor = self._unslotted_ancestor(info)
+            # An in-scope unslotted ancestor already gets its own finding
+            # above; only report here when the hole is outside the scope.
+            if ancestor is not None and not self._in_report_scope(ancestor.module):
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=info.path,
+                        line=info.line,
+                        col=info.col,
+                        message=(
+                            f"{info.name} declares __slots__ but its base "
+                            f"{ancestor.name} ({ancestor.module}) does not -- "
+                            f"the MRO must be slotted end to end"
+                        ),
+                        snippet=info.snippet,
+                    )
+                )
+        return findings

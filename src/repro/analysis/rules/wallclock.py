@@ -1,0 +1,66 @@
+"""no-wall-clock: simulation code reads the sim clock, never the host's.
+
+A single ``time.time()`` / ``perf_counter()`` / ``datetime.now()`` inside
+the event engine, radios, MACs, or the forwarding layer couples results to
+the machine running them -- replays stop being bit-identical and cached
+sweeps stop being trustworthy.  Inside ``repro.simulation`` and
+``repro.networking`` the only clock is ``Simulator.now``.
+
+(Benchmark and recording code legitimately reads wall time; it lives
+outside these packages, so the rule's scope already excludes it.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..context import FileContext
+from ..engine import Rule
+from ..findings import Finding
+
+__all__ = ["NoWallClockRule"]
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class NoWallClockRule(Rule):
+    name = "no-wall-clock"
+    description = (
+        "Forbid wall-clock reads (time.time/perf_counter/datetime.now) in "
+        "repro.simulation and repro.networking -- the sim clock is the only "
+        "time source."
+    )
+    scopes = ("repro.simulation", "repro.networking")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = ctx.resolve(node.func)
+            if path in _WALL_CLOCK_CALLS:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"wall-clock read {path}() in simulation code; use the "
+                        f"simulator's clock (Simulator.now)",
+                    )
+                )
+        return findings

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Tuple
 
 from ..capacity.rates import (
     ACK_BYTES,
@@ -91,7 +92,7 @@ def solve_fixed_point(
     stages: int = 0,
     tol: float = 1e-12,
     max_iter: int = 200,
-) -> tuple:
+) -> Tuple[float, float, float]:
     """Solve the (tau, p) fixed point for ``n_stations`` saturated stations.
 
     Returns ``(tau, p, residual)`` where ``residual`` is
@@ -122,7 +123,7 @@ def solve_fixed_point(
     return transmission_probability(p, cw_min, stages), p, residual(p)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BianchiPrediction:
     """The solved model for one station count and slot structure."""
 

@@ -32,11 +32,12 @@ replays the direct single-hop event sequence bit-for-bit -- pinned by
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Hashable, Optional, Tuple
+from typing import Callable, Deque, Hashable, Optional, Tuple
 
 from ..simulation.frames import BROADCAST, FlowTag, Frame
 from ..simulation.node import Node
-from ..simulation.traffic import TrafficSource
+from ..simulation.stats import NodeStats
+from ..simulation.traffic import AnyPacket, TrafficSource
 from .routing import RouteTable
 
 __all__ = ["ForwardingQueue", "ForwardingNode"]
@@ -84,11 +85,11 @@ class ForwardingQueue(TrafficSource):
         self.capacity = capacity
         #: Bound to the owning node's :class:`NodeStats` by
         #: :class:`ForwardingNode`, so drops land in the node's counters.
-        self.stats = None
+        self.stats: Optional[NodeStats] = None
         #: Wired to ``mac.notify_traffic`` by ``MacBase.attach_traffic`` (the
         #: attribute existing and being None is the contract), so a relay
         #: arrival wakes a dormant MAC just like an open-loop origin arrival.
-        self.on_arrival = None
+        self.on_arrival: Optional[Callable[[], None]] = None
         self.relayed_in = 0
         self.relays_sent = 0
         self.relay_drops = 0
@@ -101,7 +102,7 @@ class ForwardingQueue(TrafficSource):
 
     # -- TrafficSource interface ----------------------------------------------
 
-    def next_packet(self) -> Optional[RelayPacket]:
+    def next_packet(self) -> Optional[AnyPacket]:
         if self._queue:
             return self._queue.popleft()
         if self.origin is None:

@@ -125,10 +125,13 @@ compute_rx_dbm_matrix` produces (``rx_dbm[i, j]`` = power of ``i``'s
             return [src]
         if not self.has_route(src, dst):
             return None
-        path = [src]
+        path: List[Hashable] = [src]
         node = src
         while node != dst:
-            node = self.next_hop(node, dst)
+            step = self.next_hop(node, dst)
+            if step is None:  # unreachable mid-walk; has_route above rules it out
+                return None
+            node = step
             path.append(node)
         return path
 

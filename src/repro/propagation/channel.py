@@ -61,7 +61,9 @@ class NormalizedChannel:
     alpha: float = 3.0
     sigma_db: float = 0.0
     noise: float = db_to_linear(-65.0)
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    # Deliberately unseeded exploratory default: every experiment and
+    # scenario path injects a seeded generator.
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)  # simlint: disable=no-unseeded-rng
 
     def __post_init__(self) -> None:
         if self.alpha <= 0:
@@ -110,7 +112,9 @@ class ChannelModel:
     tx_power_dbm: float = DEFAULT_TX_POWER_DBM
     noise_floor_dbm: float = DEFAULT_NOISE_FLOOR_DBM
     fading_sigma_db: float = 0.0
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    # Deliberately unseeded exploratory default: every experiment and
+    # scenario path injects a seeded generator.
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)  # simlint: disable=no-unseeded-rng
 
     def __post_init__(self) -> None:
         if self.sigma_db < 0 or self.fading_sigma_db < 0:

@@ -20,7 +20,9 @@ __all__ = ["RayleighFading", "RicianFading", "effective_wideband_sigma_db"]
 class RayleighFading:
     """Rayleigh fading: power gain is exponentially distributed with mean 1."""
 
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    # Deliberately unseeded exploratory default: every experiment and
+    # scenario path injects a seeded generator.
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)  # simlint: disable=no-unseeded-rng
 
     def sample_power_gain(self, size: int | tuple[int, ...] | None = None):
         """Draw linear power gain(s); mean is 1 so path loss is unaffected."""
@@ -41,7 +43,9 @@ class RicianFading:
     """Rician fading with K-factor ``k`` (ratio of line-of-sight to scattered power)."""
 
     k_factor: float = 3.0
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    # Deliberately unseeded exploratory default: every experiment and
+    # scenario path injects a seeded generator.
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)  # simlint: disable=no-unseeded-rng
 
     def __post_init__(self) -> None:
         if self.k_factor < 0:

@@ -35,7 +35,9 @@ class ShadowingModel:
     """
 
     sigma_db: float = 0.0
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    # Deliberately unseeded exploratory default: every experiment and
+    # scenario path injects a seeded generator.
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)  # simlint: disable=no-unseeded-rng
 
     def __post_init__(self) -> None:
         if self.sigma_db < 0:

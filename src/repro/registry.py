@@ -26,7 +26,7 @@ Factory signatures:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 __all__ = ["Registry", "TOPOLOGIES", "MACS", "TRAFFIC_MODELS", "EXPERIMENTS"]
 
@@ -80,10 +80,10 @@ class Registry:
             known = ", ".join(sorted(self._entries))
             raise KeyError(f"unknown {self.kind} {name!r} (known: {known})") from None
 
-    def names(self) -> tuple:
+    def names(self) -> Tuple[str, ...]:
         return tuple(self._entries)
 
-    def items(self) -> tuple:
+    def items(self) -> Tuple[Tuple[str, Callable[..., Any]], ...]:
         """(name, factory) pairs in registration order."""
         return tuple(self._entries.items())
 

@@ -465,7 +465,7 @@ class ResultSet:
                 return False
         return True
 
-    __hash__ = None  # mutable container semantics
+    __hash__ = None  # type: ignore[assignment]  # mutable container semantics
 
     def __repr__(self) -> str:
         return (

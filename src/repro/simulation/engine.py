@@ -162,6 +162,19 @@ class Simulator:
     [1.5]
     """
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_cb",
+        "_gen",
+        "_owner",
+        "_free",
+        "_seq",
+        "_live",
+        "_dead",
+        "_events_processed",
+    )
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, int, int]] = []

@@ -14,6 +14,7 @@ handles received frames.  Concrete implementations:
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Hashable, Optional
 
 import numpy as np
@@ -25,6 +26,20 @@ from ..phy import ReceptionOutcome
 from ..radio import Radio
 
 __all__ = ["MacBase", "MacStats"]
+
+
+def _default_mac_rng(node_id: Hashable) -> np.random.Generator:
+    """Deterministic fallback stream for a MAC constructed without an rng.
+
+    Every real construction path (``WirelessNetwork.add_node``) injects a
+    seeded child generator; this fallback only serves hand-built MACs in
+    tests and exploratory scripts.  Seeding from the node id (salted so the
+    stream differs from the radio's identically-derived fallback) keeps
+    even those runs replayable, and distinct nodes still get distinct
+    backoff streams.
+    """
+    entropy = zlib.crc32(f"mac|{node_id!r}".encode("utf-8"))
+    return np.random.default_rng(np.random.SeedSequence(entropy=entropy))
 
 
 class MacStats:
@@ -82,7 +97,7 @@ class MacBase:
         self.sim = sim
         self.radio = radio
         self.rate_selector = rate_selector
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else _default_mac_rng(node_id)
         self.stats = MacStats()
         self.traffic = None  # set by Node
         self._sequence = 0

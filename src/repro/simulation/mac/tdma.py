@@ -30,7 +30,7 @@ from .base import MacBase
 __all__ = ["TdmaSchedule", "TdmaMac"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TdmaSchedule:
     """A global, repeating slot assignment.
 

@@ -115,6 +115,37 @@ class Medium:
         ``None`` disables pruning.
     """
 
+    __slots__ = (
+        "sim",
+        "channel",
+        "min_distance_m",
+        "detectability_margin_db",
+        "active_transmissions",
+        "_positions",
+        "_radios",
+        "_rx_power_cache",
+        "_primed_ids",
+        "_primed_rx_dbm",
+        "_finalized",
+        "_index",
+        "_rx_dbm_matrix",
+        "_rx_mw_matrix",
+        "_notify",
+        "_subfloor_rows",
+        "_subfloor_masks",
+        "_row_built",
+        "_subfloor_active_mw",
+        "_above_sum_mw",
+        "_locked_mask",
+        "_locked_power_mw",
+        "_locked_max_interference_mw",
+        "_cca_live_mw",
+        "_cca_threshold_mw",
+        "_busy_mirror",
+        "_slot_radios",
+        "_finishes_since_resync",
+    )
+
     def __init__(
         self,
         sim: Simulator,

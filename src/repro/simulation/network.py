@@ -64,7 +64,7 @@ def _make_tdma(
     return TdmaMac(node_id, network.sim, radio, rate_selector, schedule, rng=rng, **params)
 
 
-@dataclass
+@dataclass(slots=True)
 class RunResult:
     """Outcome of one measurement run."""
 
@@ -86,6 +86,20 @@ class RunResult:
 
 class WirelessNetwork:
     """Builds and runs a packet-level wireless network simulation."""
+
+    __slots__ = (
+        "sim",
+        "channel",
+        "medium",
+        "default_cca_threshold_dbm",
+        "cca_noise_db",
+        "reception",
+        "nodes",
+        "route_table",
+        "_rng",
+        "_child_seeds",
+        "_started",
+    )
 
     def __init__(
         self,

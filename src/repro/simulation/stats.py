@@ -62,7 +62,7 @@ def _reservoir_seed(node_id: Hashable, src: Hashable) -> int:
     return zlib.crc32(f"{node_id!r}|{src!r}".encode("utf-8"))
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkThroughput:
     """Delivered traffic on one directed link over a measurement window."""
 
@@ -85,7 +85,7 @@ class LinkThroughput:
         return 8.0 * self.payload_bytes / self.duration_s
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeStats:
     """Application-level counters for one node.
 

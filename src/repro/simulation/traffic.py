@@ -10,17 +10,23 @@ under partial load.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Optional, Tuple
+from typing import Callable, Hashable, Optional, Tuple, Union
 
 import numpy as np
 
 from ..constants import EXPERIMENT_PAYLOAD_BYTES
 from .engine import Simulator
-from .frames import BROADCAST, Frame
+from .frames import BROADCAST, FlowTag, Frame
 
 __all__ = ["TrafficSource", "SaturatedTraffic", "PoissonTraffic"]
 
 Packet = Tuple[Hashable, int]
+
+#: Multi-hop sources (:class:`repro.networking.ForwardingQueue`) yield a
+#: three-element form carrying the end-to-end flow tag the MAC stamps onto
+#: the frame; plain sources yield ``(destination, payload_bytes)``.
+TaggedPacket = Tuple[Hashable, int, FlowTag]
+AnyPacket = Union[Packet, TaggedPacket]
 
 
 class TrafficSource:
@@ -28,8 +34,9 @@ class TrafficSource:
 
     __slots__ = ()
 
-    def next_packet(self) -> Optional[Packet]:
-        """Return ``(destination, payload_bytes)`` or ``None`` when idle."""
+    def next_packet(self) -> Optional[AnyPacket]:
+        """Return ``(destination, payload_bytes)``, optionally extended with
+        a :class:`~repro.simulation.frames.FlowTag`, or ``None`` when idle."""
         raise NotImplementedError
 
     def notify_sent(self, frame: Frame) -> None:
@@ -67,13 +74,19 @@ class PoissonTraffic(TrafficSource):
     destination: Hashable = BROADCAST
     payload_bytes: int = EXPERIMENT_PAYLOAD_BYTES
     queue_limit: int = 1000
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    #: Arrival-gap stream.  Scenario paths inject the network's seeded child
+    #: generator; the fallback is a fixed-seed stream so a source built
+    #: without one is still replayable (pass distinct rngs to decorrelate
+    #: multiple sources).
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
     packets_offered: int = 0
     packets_dropped: int = 0
     packets_sent: int = 0
     #: Invoked whenever a packet arrives into an empty queue, so a dormant
     #: MAC can resume its access procedure (see ``MacBase.notify_traffic``).
-    on_arrival: Optional[callable] = None
+    on_arrival: Optional[Callable[[], None]] = None
     _queue_depth: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
