@@ -19,6 +19,7 @@ from .hygiene import (
     NoFloatEqualityRule,
     NoMutableDefaultArgsRule,
 )
+from .retry import BoundedRetryLoopRule
 from .rng import NoUnseededRngRule
 from .slots import SlotsHotPathRule
 from .wallclock import NoWallClockRule
@@ -35,6 +36,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     NoMutableDefaultArgsRule,
     NoFloatEqualityRule,
     DeterministicDictIterationRule,
+    BoundedRetryLoopRule,
 ]
 
 

@@ -1,0 +1,117 @@
+"""The bounded-retry-loop rule.
+
+The fault-tolerant runner retries failed attempts, and the easiest bug to
+write in that code is an unbounded retry loop: ``while True: try ...
+except: continue`` spins forever once an error stops being transient (a
+kill-fault that never stands down, a task that always times out).  Every
+retry loop in the execution layer must therefore be *bounded* -- either a
+``for attempt in range(...)`` loop (structurally bounded) or a ``while``
+loop whose body contains an explicit comparison guard that breaks, returns,
+or raises.
+
+This rule flags ``while True:`` (and ``while 1:``) loops in the supervised
+execution layer (``repro.runner``) and the facade above it (``repro.api``)
+that lack such a guard: an ``if`` whose test contains a comparison and
+whose branch escapes the loop (``break`` / ``return`` / ``raise``).  The
+worker receive loop's ``if chunk is None: break`` sentinel idiom satisfies
+the rule; a retry loop capped with ``if attempt > max_retries: raise``
+does too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..context import FileContext
+from ..engine import Rule
+from ..findings import Finding
+
+__all__ = ["BoundedRetryLoopRule"]
+
+_LOOPS = (ast.For, ast.While, ast.AsyncFor)
+
+
+def _is_truthy_constant(node: ast.expr) -> bool:
+    """``while True:`` / ``while 1:`` -- a loop only its body can end."""
+    return isinstance(node, ast.Constant) and bool(node.value) and (
+        node.value is True or isinstance(node.value, int)
+    )
+
+
+def _contains_compare(node: ast.expr) -> bool:
+    return any(isinstance(child, ast.Compare) for child in ast.walk(node))
+
+
+def _same_loop_level(body: List[ast.stmt]) -> List[ast.stmt]:
+    """Statements reachable from ``body`` at the same loop nesting level
+    (descends into if/try/with bodies, never into nested loops -- a
+    ``break`` in there targets the inner loop)."""
+    flat: List[ast.stmt] = []
+    for stmt in body:
+        flat.append(stmt)
+        if isinstance(stmt, _LOOPS):
+            continue
+        for field in ("body", "orelse", "finalbody"):
+            flat.extend(_same_loop_level(getattr(stmt, field, [])))
+        for handler in getattr(stmt, "handlers", []):
+            flat.extend(_same_loop_level(handler.body))
+    return flat
+
+
+def _branch_escapes(body: List[ast.stmt]) -> bool:
+    """Does this branch leave the loop?  ``break`` counts only at the same
+    loop level; ``return``/``raise`` escape from any depth."""
+    for stmt in _same_loop_level(body):
+        if isinstance(stmt, ast.Break):
+            return True
+    return any(
+        isinstance(child, (ast.Return, ast.Raise))
+        for stmt in body
+        for child in ast.walk(stmt)
+    )
+
+
+def _has_bound_guard(loop: ast.While) -> bool:
+    """A guard is an ``if`` at the loop's own nesting level whose test
+    compares something and whose taken branch escapes the loop."""
+    for stmt in _same_loop_level(loop.body):
+        if not isinstance(stmt, ast.If):
+            continue
+        if not _contains_compare(stmt.test):
+            continue
+        if _branch_escapes(stmt.body) or _branch_escapes(stmt.orelse):
+            return True
+    return False
+
+
+class BoundedRetryLoopRule(Rule):
+    name = "bounded-retry-loop"
+    description = (
+        "Forbid unbounded while-True loops in the execution layer; every "
+        "retry loop needs a comparison guard that breaks/returns/raises "
+        "(or should be a for-range loop)."
+    )
+    scopes = ("repro.runner", "repro.api")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not _is_truthy_constant(node.test):
+                continue
+            if _has_bound_guard(node):
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "unbounded 'while True:' loop in the execution layer -- "
+                    "add an attempt-cap/sentinel guard (an if-comparison "
+                    "that breaks, returns, or raises) or use a bounded "
+                    "'for attempt in range(...)' loop",
+                )
+            )
+        return findings

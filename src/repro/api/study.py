@@ -43,8 +43,21 @@ from __future__ import annotations
 import copy
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
+import os
+
 from ..results import ResultSet
-from ..runner import BatchOutcome, BatchReport, BatchRunner, BatchTask, ResultCache, config_hash, expand_grid
+from ..runner import (
+    BatchOutcome,
+    BatchReport,
+    BatchRunner,
+    BatchTask,
+    ResultCache,
+    RetryPolicy,
+    RunJournal,
+    config_hash,
+    default_journal_path,
+    expand_grid,
+)
 from ..scenarios import (
     Scenario,
     aggregate_metrics,
@@ -119,6 +132,11 @@ class Study:
         self._cache: Optional[ResultCache] = None
         self._force: bool = False
         self._workers: int = 0
+        self._retry: Union[RetryPolicy, int, None] = None
+        self._task_timeout_s: Optional[float] = None
+        self._on_error: str = "raise"
+        self._journal: Union[RunJournal, str, None] = None
+        self._resume: bool = False
 
     # -- alternate constructors ------------------------------------------------
 
@@ -210,6 +228,44 @@ class Study:
         other._workers = int(n)
         return other
 
+    def retries(self, n: Union[RetryPolicy, int]) -> "Study":
+        """Retry budget per task: an attempt count or a full
+        :class:`~repro.runner.RetryPolicy` (taxonomy, backoff, jitter seed)."""
+        other = self._clone()
+        other._retry = n
+        return other
+
+    def task_timeout(self, seconds: Optional[float]) -> "Study":
+        """Per-task deadline; an overrunning task's worker is recycled."""
+        other = self._clone()
+        other._task_timeout_s = None if seconds is None else float(seconds)
+        return other
+
+    def on_error(self, mode: str) -> "Study":
+        """``"raise"`` (default) or ``"skip"`` -- degrade to partial results
+        plus a failure manifest instead of raising after the batch."""
+        other = self._clone()
+        other._on_error = mode
+        return other
+
+    def journal(self, where: Union[RunJournal, os.PathLike, str, None], resume: bool = False) -> "Study":
+        """Attach a resumable run journal (a :class:`~repro.runner.RunJournal`
+        or its path); ``resume=True`` replays it and skips completed tasks."""
+        other = self._clone()
+        if where is None or isinstance(where, RunJournal):
+            other._journal = where
+        else:
+            other._journal = RunJournal(where)
+        other._resume = bool(resume)
+        return other
+
+    def resume(self, resume: bool = True) -> "Study":
+        """Replay the attached (or cache-adjacent) journal on the next run,
+        re-executing only tasks it does not mark completed."""
+        other = self._clone()
+        other._resume = bool(resume)
+        return other
+
     # -- expansion -------------------------------------------------------------
 
     def _expanded_configs(self) -> List[Dict[str, Any]]:
@@ -277,11 +333,21 @@ class Study:
             if scenarios is not None
             else self._tasks()
         )
+        journal = self._journal
+        if journal is None and self._resume and self._cache is not None:
+            # Resuming without an explicit journal: use the conventional
+            # location next to the result cache.
+            journal = RunJournal(default_journal_path(self._cache.root))
         runner = BatchRunner(
             workers=self._workers if workers is None else int(workers),
             cache=self._cache,
             force=self._force,
             group_key=scenario_group_key if self._base is not None else None,
+            retry=self._retry,
+            task_timeout_s=self._task_timeout_s,
+            on_error=self._on_error,
+            journal=journal,
+            resume=self._resume,
         )
         outcome = runner.run(tasks, progress=progress)
         return StudyResult(study=self, scenarios=scenarios, outcome=outcome)
@@ -311,20 +377,36 @@ class StudyResult:
     def report(self) -> BatchReport:
         return self.outcome.report
 
+    @property
+    def failures(self) -> List[Dict[str, Any]]:
+        """The machine-readable failure manifest (one entry per task that
+        exhausted its retry budget under ``on_error="skip"``)."""
+        return self.outcome.failure_manifest
+
+    @property
+    def completed(self) -> List[Any]:
+        """Per-task results with failed (``None``) slots dropped.
+
+        Identical to :attr:`raw` unless the study ran with
+        ``on_error="skip"`` and some tasks failed.
+        """
+        return [result for result in self.raw if result is not None]
+
     def results(self) -> ResultSet:
         """The whole sweep as one columnar :class:`~repro.results.ResultSet`.
 
         Legacy dict results (old JSON cache entries) are lifted through
         :meth:`ResultSet.from_flow_dicts`; their extended columns hold the
-        "not measured" sentinels.
+        "not measured" sentinels.  Tasks that failed under
+        ``on_error="skip"`` are absent (see :attr:`failures`).
         """
         if self._result_set is None:
-            self._result_set = ResultSet.coerce(self.raw)
+            self._result_set = ResultSet.coerce(self.completed)
         return self._result_set
 
     def summaries(self) -> List[Dict[str, Any]]:
-        """One scenario-summary dict per task, in task order."""
-        return scenario_summaries(self.raw)
+        """One scenario-summary dict per completed task, in task order."""
+        return scenario_summaries(self.completed)
 
     def to_flow_dicts(self) -> List[Dict[str, Any]]:
         """The legacy per-flow dict encoding of the whole sweep."""
@@ -332,7 +414,7 @@ class StudyResult:
 
     def aggregate(self) -> Dict[str, Any]:
         """Sweep-level statistics (see :func:`repro.scenarios.aggregate_metrics`)."""
-        return aggregate_metrics(self.raw)
+        return aggregate_metrics(self.completed)
 
     def __repr__(self) -> str:
         return f"StudyResult({self.report.summary()})"

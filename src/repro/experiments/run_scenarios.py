@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Optional
 
 from ..api import Study
 from ..api.experiment import experiment
-from ..runner import ResultCache
+from ..runner import ResultCache, default_journal_path
 from ..scenarios import TOPOLOGIES, Scenario
 from ..simulation.medium import DEFAULT_DETECTABILITY_MARGIN_DB
 from .base import ExperimentResult, default_cache_dir
@@ -90,6 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
     parser.add_argument("--force", action="store_true",
                         help="re-execute and overwrite cached results")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="retry budget per task for transient failures, "
+                             "timeouts, and worker crashes (default: 0)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-task deadline in wall-clock seconds; an "
+                             "overrunning task counts as a timeout failure "
+                             "(default: none)")
+    parser.add_argument("--on-error", choices=("raise", "skip"), default="raise",
+                        help="after the batch drains: 'raise' on any failed task, "
+                             "or 'skip' to keep partial results plus a failure "
+                             "manifest (default: raise)")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay the run journal next to the cache and "
+                             "re-execute only tasks not recorded as completed")
     parser.add_argument("--verbose", action="store_true", help="print one line per scenario")
     return parser
 
@@ -158,21 +172,36 @@ def _sweep_result(args: argparse.Namespace, progress=None) -> ExperimentResult:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.resume and cache is None:
+        raise SystemExit("--resume needs the result cache (drop --no-cache)")
     # Warm-group dispatch comes with the Study facade: grid points sharing a
     # (topology, propagation) fingerprint travel in the same chunks so warm
     # worker pools rebuild the expensive network state once per group.
-    study_run = (
+    study = (
         Study.of(scenarios)
         .cache(cache)
         .force(args.force)
-        .run(workers=args.workers, progress=progress)
+        .retries(args.retries)
+        .task_timeout(args.task_timeout)
+        .on_error(args.on_error)
     )
+    if cache is not None:
+        # Journal next to the cache so a crashed/killed sweep is resumable.
+        study = study.journal(default_journal_path(cache.root), resume=args.resume)
+    study_run = study.run(workers=args.workers, progress=progress)
 
     result = ExperimentResult(EXPERIMENT_ID, "Scenario sweep")
     result.data["sweep"] = study_run.aggregate()
     # The whole sweep as one typed columnar ResultSet: the artifact path
     # persists it as an .npz sidecar; the text path prints its short repr.
     result.data["results"] = study_run.results()
+    if study_run.failures:
+        # Machine-readable manifest of every task that exhausted its retry
+        # budget (only reachable under --on-error skip).
+        result.data["failures"] = study_run.failures
+        result.add_note(
+            f"failures: {len(study_run.failures)} task(s) skipped after retries"
+        )
     if args.verbose:
         result.data["scenarios"] = {
             r["name"]: f"{r['total_pps']:.0f} pkt/s over {r['n_flows']} flows"
@@ -224,6 +253,10 @@ def run(
     cache_dir: Optional[str] = None,
     no_cache: bool = False,
     force: bool = False,
+    retries: int = 0,
+    task_timeout: Optional[float] = None,
+    on_error: str = "raise",
+    resume: bool = False,
     verbose: bool = False,
 ) -> ExperimentResult:
     """Programmatic form of the CLI sweep (axes accept scalars or sequences).
@@ -256,6 +289,10 @@ def run(
         cache_dir=cache_dir,
         no_cache=bool(no_cache),
         force=bool(force),
+        retries=int(retries),
+        task_timeout=None if task_timeout is None else float(task_timeout),
+        on_error=str(on_error),
+        resume=bool(resume),
         verbose=bool(verbose),
     )
     return _sweep_result(args)

@@ -2,9 +2,15 @@
 
 The runner turns a parameter sweep into a list of :class:`BatchTask` items
 (a dotted-path function plus a JSON-able config), executes them across a
-``multiprocessing`` worker pool with per-task seeding, and caches every
-result on disk keyed by a stable hash of the task config so repeated sweeps
-skip straight to aggregation.
+supervised ``multiprocessing`` worker pool with per-task seeding, and caches
+every result on disk keyed by a stable hash of the task config so repeated
+sweeps skip straight to aggregation.
+
+The execution layer is fault-tolerant: per-task deadlines
+(``task_timeout_s``), a deterministic :class:`RetryPolicy` with capped
+seeded-jitter backoff, worker-crash survival (a killed worker loses only its
+in-flight tasks), an append-only resumable :class:`RunJournal`, and a
+deterministic :class:`FaultPlan` chaos harness to test all of it.
 
 Typical use::
 
@@ -13,7 +19,9 @@ Typical use::
     configs = expand_grid({"alpha": 3.0}, {"rmax": [20, 55, 120]})
     tasks = [BatchTask(fn="repro.experiments.figure04_curves.curve_task",
                        config=c) for c in configs]
-    runner = BatchRunner(workers=4, cache=ResultCache("~/.cache/repro"))
+    runner = BatchRunner(workers=4, cache=ResultCache("~/.cache/repro"),
+                         retry=2, task_timeout_s=300.0,
+                         journal="~/.cache/repro/journal.jsonl")
     outcome = runner.run(tasks)
     outcome.results          # ordered like the tasks
     outcome.report.executed  # 0 on a warm cache
@@ -21,6 +29,9 @@ Typical use::
 
 from .batch import BatchExecutionError, BatchOutcome, BatchReport, BatchRunner, BatchTask
 from .cache import ResultCache, config_hash
+from .faults import FaultPlan, FaultSpec, InjectedFatalError, InjectedTransientError
+from .journal import JournalState, RunJournal, default_journal_path
+from .policy import RetryPolicy, TaskError, TransientTaskError
 from .sweep import expand_grid, per_task_seed
 
 __all__ = [
@@ -29,8 +40,18 @@ __all__ = [
     "BatchReport",
     "BatchRunner",
     "BatchTask",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFatalError",
+    "InjectedTransientError",
+    "JournalState",
     "ResultCache",
+    "RetryPolicy",
+    "RunJournal",
+    "TaskError",
+    "TransientTaskError",
     "config_hash",
+    "default_journal_path",
     "expand_grid",
     "per_task_seed",
 ]

@@ -1,29 +1,35 @@
-"""Batch execution of picklable tasks over a multiprocessing pool.
+"""Fault-tolerant batch execution of picklable tasks over a supervised pool.
 
 A :class:`BatchTask` names its function by dotted path rather than holding a
 callable, so tasks stay picklable under every start method and the cache key
 (function path + config) fully describes the computation.  ``workers <= 1``
 runs everything in-process, which keeps tests fast and stack traces simple.
 
-Dispatch is warm-pool friendly: pending tasks are submitted to the pool in
-chunks (amortising one IPC round trip over several tasks), and an optional
-``group_key`` orders the pending list so that tasks sharing expensive
-worker-side state (e.g. a scenario sweep's per-(topology, propagation) warm
-state, see :mod:`repro.scenarios.execute`) travel in the same chunks and
-therefore tend to run on the same warm worker.  Neither affects results or
-cache keys -- results are re-ordered by task index before they are returned.
+Parallel dispatch goes through the supervised worker pool
+(:mod:`repro.runner.supervisor`): per-task deadlines (``task_timeout_s``), a
+deterministic :class:`~repro.runner.policy.RetryPolicy` with capped
+seeded-jitter backoff, worker-crash survival (a SIGKILL'd worker loses only
+its in-flight tasks, which are resubmitted under the retry budget), and an
+optional resumable :class:`~repro.runner.journal.RunJournal`.  Dispatch is
+warm-pool friendly: pending tasks travel to workers in chunks, and an
+optional ``group_key`` orders the pending list so tasks sharing expensive
+worker-side state (see :mod:`repro.scenarios.execute`) land on the same warm
+worker.  Neither supervision nor dispatch ordering affects results or cache
+keys -- results are re-ordered by task index before they are returned.
 """
 
 from __future__ import annotations
 
 import importlib
-import multiprocessing
+import os
 import time
-import traceback
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .cache import ResultCache, config_hash
+from .faults import FaultPlan, FaultSpec, corrupt_cache_entry
+from .journal import RunJournal
+from .policy import KIND_TIMEOUT, RetryPolicy, TaskError, as_policy
 
 __all__ = [
     "BatchTask",
@@ -33,6 +39,10 @@ __all__ = [
     "BatchExecutionError",
     "resolve_callable",
 ]
+
+#: Accepted ``on_error`` modes: raise after the batch, or degrade to
+#: partial results plus a failure manifest.
+ON_ERROR_MODES = ("raise", "skip")
 
 
 def resolve_callable(dotted_path: str) -> Callable[..., Any]:
@@ -62,20 +72,21 @@ class BatchTask:
         return config_hash({"fn": self.fn, "config": self.config})
 
 
-def _execute(payload: Tuple[int, str, Dict[str, Any]]) -> Tuple[int, Any, Optional[str]]:
-    """Worker entry point: run one task, tagged with its position.
+def _execute(payload: Tuple[int, str, Dict[str, Any]]) -> Tuple[int, Any, Optional[TaskError]]:
+    """Run one task, tagged with its position; exceptions become data.
 
-    Exceptions are caught and returned as a string (picklable under every
-    start method) rather than propagated: a single raising task must not
-    abort ``imap_unordered`` and discard every completed-but-not-yet-stored
-    result.  The runner records failures and re-raises at the end.
+    Failures cross the process boundary as a structured
+    :class:`~repro.runner.policy.TaskError` (picklable under every start
+    method) rather than propagating: a single raising task must not abort
+    the batch and discard every completed-but-not-yet-stored result.  The
+    runner classifies, retries, and re-raises at the end.
     """
     index, fn_path, config = payload
     try:
         fn = resolve_callable(fn_path)
         return index, fn(**config), None
     except Exception as exc:  # noqa: BLE001 -- deliberately broad per-task isolation
-        return index, None, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        return index, None, TaskError.from_exception(exc)
 
 
 @dataclass
@@ -87,24 +98,55 @@ class BatchReport:
     cache_hits: int = 0
     workers: int = 1
     elapsed_s: float = 0.0
-    #: Task index -> error message for tasks that raised.
+    #: Attempts started (first tries + retries) across the whole batch.
+    attempts: int = 0
+    #: Attempts re-submitted under the retry policy.
+    retries: int = 0
+    #: Attempts killed (or, serially, disqualified) by the task deadline.
+    timeouts: int = 0
+    #: Worker processes recycled after a crash or deadline kill.
+    worker_restarts: int = 0
+    #: Tasks skipped because the resume journal marked them completed.
+    journal_skips: int = 0
+    #: Task index -> error message for tasks that exhausted their budget.
     failures: Dict[int, str] = field(default_factory=dict)
+    #: Task index -> structured :class:`TaskError` (same keys as failures).
+    errors: Dict[int, TaskError] = field(default_factory=dict)
+    #: Task index -> attempts consumed (only tasks that actually ran).
+    task_attempts: Dict[int, int] = field(default_factory=dict)
 
     def summary(self) -> str:
         failed = f", {len(self.failures)} failed" if self.failures else ""
+        resilience = ""
+        if self.retries:
+            resilience += f", {self.retries} retries"
+        if self.timeouts:
+            resilience += f", {self.timeouts} timeouts"
+        if self.worker_restarts:
+            resilience += f", {self.worker_restarts} worker restarts"
+        if self.journal_skips:
+            resilience += f", {self.journal_skips} journal skips"
         return (
             f"{self.total} tasks: {self.executed} executed, "
-            f"{self.cache_hits} cache hits{failed} ({self.workers} worker(s), "
-            f"{self.elapsed_s:.2f}s)"
+            f"{self.cache_hits} cache hits{failed}{resilience} "
+            f"({self.workers} worker(s), {self.elapsed_s:.2f}s)"
         )
 
 
 @dataclass
 class BatchOutcome:
-    """Ordered task results plus the execution report."""
+    """Ordered task results plus the execution report.
+
+    ``failure_manifest`` is the machine-readable account of every task that
+    exhausted its retry budget (empty on a clean batch): one record per
+    failed slot with the task key, error classification, and attempts
+    consumed.  With ``on_error="skip"`` this is how a degraded sweep
+    reports what is missing from its partial results.
+    """
 
     results: List[Any]
     report: BatchReport
+    failure_manifest: List[Dict[str, Any]] = field(default_factory=list)
 
 
 class BatchExecutionError(RuntimeError):
@@ -129,7 +171,7 @@ class BatchExecutionError(RuntimeError):
 
 
 class BatchRunner:
-    """Runs batches of tasks with optional parallelism and result caching."""
+    """Runs batches of tasks with supervised parallelism and result caching."""
 
     def __init__(
         self,
@@ -138,6 +180,13 @@ class BatchRunner:
         force: bool = False,
         chunksize: Optional[int] = None,
         group_key: Optional[Callable[[BatchTask], Any]] = None,
+        retry: Union[RetryPolicy, int, None] = None,
+        task_timeout_s: Optional[float] = None,
+        on_error: str = "raise",
+        journal: Union[RunJournal, os.PathLike, str, None] = None,
+        resume: bool = False,
+        faults: Union[FaultPlan, Mapping[int, FaultSpec], None] = None,
+        progress_every: Optional[int] = None,
     ) -> None:
         """``workers <= 1`` means in-process serial execution.
 
@@ -151,16 +200,62 @@ class BatchRunner:
         submission so tasks with equal keys share chunks -- use it to keep
         warm worker-side state hot.  Both are pure dispatch knobs: result
         order and cache keys are unaffected.
+
+        Fault tolerance:
+
+        * ``retry`` -- an attempt budget (int) or a full
+          :class:`~repro.runner.policy.RetryPolicy`; transient failures,
+          deadline timeouts, and worker crashes are re-submitted until the
+          budget is exhausted, with deterministic capped backoff.
+        * ``task_timeout_s`` -- per-task deadline.  With workers, a task
+          exceeding it has its worker SIGKILLed and recycled; serially the
+          attempt is disqualified after the fact (nothing can preempt
+          in-process work).
+        * ``on_error`` -- ``"raise"`` (default) raises
+          :class:`BatchExecutionError` after the whole batch ran;
+          ``"skip"`` degrades to partial results plus
+          :attr:`BatchOutcome.failure_manifest`.
+        * ``journal`` -- a :class:`~repro.runner.journal.RunJournal` (or
+          path) appending one JSONL line per task event.  With
+          ``resume=True`` the journal is replayed first and tasks whose
+          last terminal event is ``complete`` are served from the cache --
+          even under ``force`` -- so an interrupted campaign re-executes
+          only its unfinished tail.
+        * ``faults`` -- a deterministic
+          :class:`~repro.runner.faults.FaultPlan` for chaos testing.
+        * ``progress_every`` -- heartbeat cadence in completed tasks
+          (default: one heartbeat per dispatch chunk).
         """
         if workers < 0:
             raise ValueError("workers must be non-negative")
         if chunksize is not None and chunksize < 1:
             raise ValueError("chunksize must be positive")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive")
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}")
+        if progress_every is not None and progress_every < 1:
+            raise ValueError("progress_every must be positive")
         self.workers = int(workers)
         self.cache = cache
         self.force = force
         self.chunksize = chunksize
         self.group_key = group_key
+        self.policy = as_policy(retry)
+        self.task_timeout_s = None if task_timeout_s is None else float(task_timeout_s)
+        self.on_error = on_error
+        if journal is None or isinstance(journal, RunJournal):
+            self.journal = journal
+        else:
+            self.journal = RunJournal(journal)
+        self.resume = bool(resume)
+        if faults is None:
+            self.faults = FaultPlan({})
+        elif isinstance(faults, FaultPlan):
+            self.faults = faults
+        else:
+            self.faults = FaultPlan(faults)
+        self.progress_every = progress_every
 
     def _effective_chunksize(self, pending_count: int) -> int:
         if self.chunksize is not None:
@@ -174,15 +269,31 @@ class BatchRunner:
         start = time.perf_counter()
         report = BatchReport(total=len(tasks), workers=max(1, self.workers))
         results: List[Any] = [None] * len(tasks)
+        journal = self.journal
+        journal_state = journal.replay() if (journal is not None and self.resume) else None
 
         pending: List[Tuple[int, str, Dict[str, Any]]] = []
         for index, task in enumerate(tasks):
+            key = task.cache_key
+            if journal_state is not None and journal_state.is_completed(key):
+                cached = self.cache.get(key) if self.cache is not None else None
+                if cached is not None:
+                    # Resume trumps ``force``: a journaled-complete task is
+                    # finished business, not a candidate for refresh.
+                    results[index] = cached["result"]
+                    report.cache_hits += 1
+                    report.journal_skips += 1
+                    continue
+                # Journaled complete but the cache cannot serve it (entry
+                # evicted or cache disabled): fall through and re-execute.
             cached = None
             if self.cache is not None and not self.force:
-                cached = self.cache.get(task.cache_key)
+                cached = self.cache.get(key)
             if cached is not None:
                 results[index] = cached["result"]
                 report.cache_hits += 1
+                if journal is not None:
+                    journal.record(key, index, "complete", attempt=0)
             else:
                 pending.append((index, task.fn, dict(task.config)))
 
@@ -197,40 +308,167 @@ class BatchRunner:
             group_key = self.group_key
             pending.sort(key=lambda payload: group_key(tasks[payload[0]]))
 
-        if self.workers > 1 and len(pending) > 1:
-            chunksize = self._effective_chunksize(len(pending))
-            with multiprocessing.Pool(processes=self.workers) as pool:
-                for index, result, error in pool.imap_unordered(
-                    _execute, pending, chunksize=chunksize
-                ):
-                    self._record(tasks, results, report, index, result, error)
-        else:
-            for payload in pending:
-                index, result, error = _execute(payload)
-                self._record(tasks, results, report, index, result, error)
+        heartbeat_every = self.progress_every or self._effective_chunksize(len(pending))
+        settled = 0
+
+        def heartbeat() -> None:
+            if progress is None or not pending:
+                return
+            if settled % heartbeat_every == 0 or settled == len(pending):
+                progress(
+                    f"{settled}/{len(pending)} tasks done "
+                    f"({report.retries} retries, {report.timeouts} timeouts, "
+                    f"{report.worker_restarts} worker restarts)"
+                )
+
+        def on_event(
+            kind: str,
+            index: int = -1,
+            attempt: int = 0,
+            result: Any = None,
+            error: Optional[TaskError] = None,
+        ) -> None:
+            nonlocal settled
+            if kind == "restart":
+                report.worker_restarts += 1
+                return
+            task = tasks[index]
+            key = task.cache_key
+            if kind == "start":
+                report.attempts += 1
+                report.task_attempts[index] = attempt
+                if journal is not None:
+                    journal.record(key, index, "start", attempt)
+            elif kind == "retry":
+                assert error is not None
+                report.retries += 1
+                if error.kind == KIND_TIMEOUT:
+                    report.timeouts += 1
+                if journal is not None:
+                    journal.record(key, index, "retry", attempt, error)
+            elif kind == "done":
+                results[index] = result
+                report.executed += 1
+                self._store(task, result, index, attempt)
+                settled += 1
+                if journal is not None:
+                    journal.record(key, index, "complete", attempt)
+                heartbeat()
+            elif kind == "failed":
+                assert error is not None
+                if error.kind == KIND_TIMEOUT:
+                    report.timeouts += 1
+                report.errors[index] = error
+                report.failures[index] = error.format()
+                settled += 1
+                if journal is not None:
+                    journal.record(key, index, "fail", attempt, error)
+                heartbeat()
+
+        try:
+            if self.workers > 1 and len(pending) > 1:
+                from .supervisor import run_supervised
+
+                run_supervised(
+                    pending,
+                    workers=min(self.workers, len(pending)),
+                    chunksize=self._effective_chunksize(len(pending)),
+                    policy=self.policy,
+                    task_timeout_s=self.task_timeout_s,
+                    faults=self.faults,
+                    keys={index: tasks[index].cache_key for index, _, _ in pending},
+                    on_event=on_event,
+                )
+            else:
+                self._run_serial(tasks, pending, on_event)
+        finally:
+            if journal is not None:
+                journal.close()
 
         report.elapsed_s = time.perf_counter() - start
-        outcome = BatchOutcome(results=results, report=report)
-        if report.failures:
+        outcome = BatchOutcome(
+            results=results,
+            report=report,
+            failure_manifest=self._failure_manifest(tasks, report),
+        )
+        if report.failures and self.on_error == "raise":
             raise BatchExecutionError(report.failures, outcome)
         return outcome
 
-    def _record(
+    def _run_serial(
         self,
         tasks: Sequence[BatchTask],
-        results: List[Any],
-        report: BatchReport,
-        index: int,
-        result: Any,
-        error: Optional[str],
+        pending: Sequence[Tuple[int, str, Dict[str, Any]]],
+        on_event: Callable[..., None],
     ) -> None:
-        if error is not None:
-            report.failures[index] = error
-            return
-        results[index] = result
-        report.executed += 1
-        self._store(tasks[index], result)
+        """In-process execution with the same retry/deadline semantics.
 
-    def _store(self, task: BatchTask, result: Any) -> None:
-        if self.cache is not None:
-            self.cache.put(task.cache_key, {"fn": task.fn, "config": task.config}, result)
+        Deadlines cannot preempt in-process work, so an attempt that ran
+        past ``task_timeout_s`` is disqualified *after* it returns --
+        classified and retried exactly like a supervised kill.  ``kill``
+        faults are simulated as worker-crash errors (hard-exiting here
+        would take the parent down too).
+        """
+        max_attempts = self.policy.max_retries + 1
+        for index, fn_path, config in pending:
+            key = tasks[index].cache_key
+            for attempt in range(1, max_attempts + 1):
+                on_event("start", index=index, attempt=attempt)
+                spec = self.faults.for_attempt(index, attempt)
+                begin = time.perf_counter()
+                if spec is not None and spec.kind == "kill":
+                    result: Any = None
+                    error: Optional[TaskError] = TaskError.worker_crash(
+                        f"simulated worker kill (serial in-process mode, task {index})"
+                    )
+                else:
+                    from .supervisor import _run_attempt
+
+                    result, error = _run_attempt(index, attempt, fn_path, config, self.faults)
+                elapsed = time.perf_counter() - begin
+                if (
+                    error is None
+                    and self.task_timeout_s is not None
+                    and elapsed > self.task_timeout_s
+                ):
+                    result = None
+                    error = TaskError.timeout(self.task_timeout_s)
+                if error is None:
+                    on_event("done", index=index, attempt=attempt, result=result)
+                    break
+                if self.policy.should_retry(error, attempt):
+                    on_event("retry", index=index, attempt=attempt, error=error)
+                    delay = self.policy.backoff_s(key, attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                on_event("failed", index=index, attempt=attempt, error=error)
+                break
+
+    @staticmethod
+    def _failure_manifest(
+        tasks: Sequence[BatchTask], report: BatchReport
+    ) -> List[Dict[str, Any]]:
+        return [
+            {
+                "index": index,
+                "key": tasks[index].cache_key,
+                "fn": tasks[index].fn,
+                "kind": error.kind,
+                "exc_type": error.exc_type,
+                "message": error.message,
+                "attempts": report.task_attempts.get(index, 0),
+            }
+            for index, error in sorted(report.errors.items())
+        ]
+
+    def _store(
+        self, task: BatchTask, result: Any, index: Optional[int] = None, attempt: int = 1
+    ) -> None:
+        if self.cache is None:
+            return
+        path = self.cache.put(task.cache_key, {"fn": task.fn, "config": task.config}, result)
+        if index is not None:
+            spec = self.faults.for_attempt(index, attempt)
+            if spec is not None and spec.kind == "corrupt_cache":
+                corrupt_cache_entry(path)

@@ -1,0 +1,151 @@
+"""Deterministic fault injection for the batch supervisor (the chaos suite).
+
+A :class:`FaultPlan` maps task *indices* to :class:`FaultSpec` entries; the
+supervisor ships the plan to every worker (as a plain-tuple payload, so it
+pickles under any start method) and each task attempt consults it before
+running.  Faults are keyed by ``(task index, attempt number)`` -- a spec
+fires on attempts ``1..attempts`` and lets later attempts succeed -- so
+"fails twice then recovers" and "hangs on the first attempt only" are
+single declarations, and an identical plan replays an identical failure
+history.  No randomness anywhere: the plan *is* the seed.
+
+Kinds
+-----
+``transient``
+    Raise :class:`InjectedTransientError` (in the default retryable
+    taxonomy of :class:`~repro.runner.policy.RetryPolicy`).
+``fatal``
+    Raise :class:`InjectedFatalError` (never retryable).
+``hang``
+    Sleep ``delay_s`` wall-clock seconds inside the task, which pushes the
+    attempt past any reasonable ``task_timeout_s`` so the supervisor's
+    deadline/kill path fires.
+``kill``
+    Hard-exit the worker process via ``os._exit`` -- no exception, no
+    cleanup, exactly what the OOM killer does.  In the in-process serial
+    runner this is simulated as a worker-crash error instead (killing the
+    parent would take the test suite with it).
+``corrupt_cache``
+    Let the task succeed, then truncate its just-written cache entry to
+    garbage (applied parent-side after the store).  Exercises the cache's
+    corrupt-entry eviction on the next read.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedTransientError",
+    "InjectedFatalError",
+    "KINDS",
+]
+
+KINDS = ("transient", "fatal", "hang", "kill", "corrupt_cache")
+
+
+class InjectedTransientError(RuntimeError):
+    """A deliberately injected, retryable failure."""
+
+
+class InjectedFatalError(RuntimeError):
+    """A deliberately injected, non-retryable failure."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: what to do and for how many attempts."""
+
+    kind: str
+    #: The fault fires on attempts ``1..attempts`` and then stands down.
+    attempts: int = 1
+    #: ``hang`` only: how long the task stalls (pick ``>> task_timeout_s``).
+    delay_s: float = 30.0
+    #: ``kill`` only: the worker's exit code (137 = SIGKILL's shell code).
+    exit_code: int = 137
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (known: {', '.join(KINDS)})")
+        if self.attempts < 1:
+            raise ValueError("a fault must fire on at least one attempt")
+
+
+class FaultPlan:
+    """An immutable task-index -> :class:`FaultSpec` injection schedule."""
+
+    def __init__(self, faults: Mapping[int, FaultSpec]) -> None:
+        self._faults: Dict[int, FaultSpec] = {int(i): spec for i, spec in faults.items()}
+
+    def for_attempt(self, index: int, attempt: int) -> Optional[FaultSpec]:
+        """The fault to inject for this attempt of task ``index`` (or None)."""
+        spec = self._faults.get(index)
+        if spec is not None and attempt <= spec.attempts:
+            return spec
+        return None
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __bool__(self) -> bool:
+        return bool(self._faults)
+
+    # -- pickling-free transport -----------------------------------------------
+
+    def as_payload(self) -> Tuple[Tuple[int, str, int, float, int], ...]:
+        """A plain-tuple encoding safe to ship to spawn-started workers."""
+        return tuple(
+            (index, spec.kind, spec.attempts, spec.delay_s, spec.exit_code)
+            for index, spec in sorted(self._faults.items())
+        )
+
+    @classmethod
+    def from_payload(
+        cls, payload: Optional[Tuple[Tuple[int, str, int, float, int], ...]]
+    ) -> "FaultPlan":
+        if not payload:
+            return cls({})
+        return cls({
+            index: FaultSpec(kind=kind, attempts=attempts, delay_s=delay_s, exit_code=exit_code)
+            for index, kind, attempts, delay_s, exit_code in payload
+        })
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"{index}:{spec.kind}x{spec.attempts}" for index, spec in sorted(self._faults.items())
+        )
+        return f"FaultPlan({{{entries}}})"
+
+
+def apply_worker_fault(spec: Optional[FaultSpec], index: int, attempt: int) -> None:
+    """Execute a worker-side fault before the task body runs.
+
+    ``corrupt_cache`` is a no-op here -- it is applied parent-side after the
+    result is stored (see :meth:`BatchRunner._store`).
+    """
+    if spec is None or spec.kind == "corrupt_cache":
+        return
+    if spec.kind == "transient":
+        raise InjectedTransientError(
+            f"injected transient fault (task {index}, attempt {attempt})"
+        )
+    if spec.kind == "fatal":
+        raise InjectedFatalError(f"injected fatal fault (task {index}, attempt {attempt})")
+    if spec.kind == "hang":
+        time.sleep(spec.delay_s)
+        return
+    if spec.kind == "kill":
+        # The point is an *uncooperative* death: no exception propagation,
+        # no atexit, no flushing -- the supervisor must notice on its own.
+        os._exit(spec.exit_code)
+
+
+def corrupt_cache_entry(path: Any) -> None:
+    """Overwrite a cache entry file with garbage (parent-side fault)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("{corrupted by fault injection")

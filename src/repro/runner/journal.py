@@ -1,0 +1,150 @@
+"""Append-only, resumable run journals for batch sweeps.
+
+A :class:`RunJournal` records the life of every task in a sweep as one JSON
+line per event -- ``start`` / ``complete`` / ``fail`` -- keyed by the task's
+content-addressed cache key.  Lines are appended with a single ``write`` to
+a file opened in append mode and flushed per event, so a crashed or killed
+campaign leaves at worst one truncated trailing line (which
+:meth:`RunJournal.replay` skips); everything before it is intact.  The
+journal lives next to the result cache by convention
+(:func:`default_journal_path`), sharing its lifetime.
+
+Resume semantics (:class:`JournalState`): replaying the journal reduces it
+to the *last terminal event per key*.  A key whose last terminal event is
+``complete`` is finished -- a resuming run serves it from the cache (or
+skips re-forcing it) instead of re-executing; ``fail`` and dangling
+``start`` events mean the task still needs work, so resumption re-executes
+exactly the non-completed tail of an interrupted campaign.
+
+Multiple sweeps may append to one journal file (keys are content-addressed,
+so entries from unrelated sweeps never collide), and the format is plain
+JSONL for external tooling: ``jq 'select(.event=="fail")' journal.jsonl``
+is the incident report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Dict, Optional, Set, Union
+
+from .policy import TaskError
+
+__all__ = ["RunJournal", "JournalState", "default_journal_path"]
+
+#: File name used when a journal is placed next to a result cache.
+JOURNAL_BASENAME = "journal.jsonl"
+
+
+def default_journal_path(cache_root: Union[os.PathLike, str]) -> Path:
+    """The conventional journal location for a cache directory."""
+    return Path(cache_root).expanduser() / JOURNAL_BASENAME
+
+
+@dataclass
+class JournalState:
+    """The reduction of a journal to per-key status."""
+
+    #: Keys whose last terminal event is ``complete``.
+    completed: Set[str] = field(default_factory=set)
+    #: Key -> last failure record (``error`` manifest + attempts) for keys
+    #: whose last terminal event is ``fail``.
+    failed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Key -> highest attempt number seen (any event).
+    attempts: Dict[str, int] = field(default_factory=dict)
+
+    def is_completed(self, key: str) -> bool:
+        return key in self.completed
+
+
+class RunJournal:
+    """An append-only JSONL record of task execution events."""
+
+    def __init__(self, path: Union[os.PathLike, str]) -> None:
+        self.path = Path(path).expanduser()
+        self._handle: Optional[IO[str]] = None
+
+    # -- writing ---------------------------------------------------------------
+
+    def _file(self) -> IO[str]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def record(
+        self,
+        key: str,
+        index: int,
+        event: str,
+        attempt: int = 1,
+        error: Optional[TaskError] = None,
+    ) -> None:
+        """Append one event line and flush it to the OS immediately."""
+        entry: Dict[str, Any] = {
+            "key": key,
+            "index": int(index),
+            "event": event,
+            "attempt": int(attempt),
+        }
+        if error is not None:
+            entry["error"] = error.manifest()
+        handle = self._file()
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- replay ----------------------------------------------------------------
+
+    def replay(self) -> JournalState:
+        """Reduce the journal to per-key terminal status.
+
+        Tolerates a missing file (fresh campaign) and corrupt or truncated
+        lines (the tail of a crashed run): bad lines are skipped, not
+        fatal -- a journal must never be able to wedge the sweep it exists
+        to protect.
+        """
+        state = JournalState()
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if not isinstance(entry, dict) or "key" not in entry:
+                        continue
+                    key = str(entry["key"])
+                    attempt = int(entry.get("attempt", 1) or 1)
+                    state.attempts[key] = max(state.attempts.get(key, 0), attempt)
+                    event = entry.get("event")
+                    if event == "complete":
+                        state.completed.add(key)
+                        state.failed.pop(key, None)
+                    elif event == "fail":
+                        state.completed.discard(key)
+                        state.failed[key] = {
+                            "attempts": attempt,
+                            "error": entry.get("error"),
+                        }
+        except FileNotFoundError:
+            pass
+        return state
+
+    def __repr__(self) -> str:
+        return f"RunJournal({str(self.path)!r})"

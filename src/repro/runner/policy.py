@@ -1,0 +1,230 @@
+"""Structured task errors and the deterministic retry policy.
+
+A failing batch task crosses the worker/parent process boundary as a
+:class:`TaskError` -- a picklable ``(exc_module, exc_type, message,
+traceback)`` record plus a ``kind`` tag (``exception`` / ``timeout`` /
+``worker-crash``) -- so the supervisor classifies failures structurally
+instead of parsing strings.  The human-facing rendering
+(:meth:`TaskError.format`) stays byte-compatible with the historical
+``"Type: message\\ntraceback"`` strings, which is what
+:class:`~repro.runner.batch.BatchExecutionError` summary lines are built
+from.
+
+:class:`RetryPolicy` turns those records into bounded retry decisions:
+
+* **classification** -- an error is *transient* (retryable) when its
+  exception type is in the policy's retryable taxonomy, when the raising
+  code tagged it by raising :class:`TransientTaskError` (or a subclass),
+  or when it is a deadline timeout / worker crash and the corresponding
+  policy flag allows retrying those;
+* **budget** -- at most ``max_retries`` re-submissions per task, tracked
+  per attempt by the supervisor;
+* **backoff** -- capped exponential delay with *seeded* jitter: the jitter
+  for ``(task key, attempt)`` is drawn from a
+  :class:`numpy.random.SeedSequence` derived from the policy seed and the
+  task identity, never from wall-clock entropy, so a re-run of the same
+  sweep makes exactly the same scheduling decisions (the simlint
+  ``no-unseeded-rng`` invariant extends to the control plane).
+"""
+
+from __future__ import annotations
+
+import traceback as traceback_module
+import zlib
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "TaskError",
+    "TransientTaskError",
+    "RetryPolicy",
+    "DEFAULT_RETRYABLE_TYPES",
+    "KIND_EXCEPTION",
+    "KIND_TIMEOUT",
+    "KIND_WORKER_CRASH",
+]
+
+KIND_EXCEPTION = "exception"
+KIND_TIMEOUT = "timeout"
+KIND_WORKER_CRASH = "worker-crash"
+
+
+class TransientTaskError(RuntimeError):
+    """Marker for task code that knows its failure is worth retrying.
+
+    Task bodies (or fault injectors) raise this -- or a subclass -- to tag a
+    failure as transient regardless of the policy's type taxonomy.
+    """
+
+
+#: Exception type names treated as transient by default: I/O and IPC
+#: wobble (cache files, pipes, imports racing an installer) plus the
+#: explicit markers.  Matching is by unqualified type name against the
+#: structured record -- the worker-side class object never crosses the
+#: process boundary.
+DEFAULT_RETRYABLE_TYPES: Tuple[str, ...] = (
+    "TransientTaskError",
+    "InjectedTransientError",
+    "OSError",
+    "IOError",
+    "ConnectionError",
+    "ConnectionResetError",
+    "BrokenPipeError",
+    "TimeoutError",
+    "InterruptedError",
+    "EOFError",
+)
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """One task failure, structured for classification and journaling."""
+
+    exc_module: str
+    exc_type: str
+    message: str
+    traceback: str = ""
+    kind: str = KIND_EXCEPTION
+    #: Marks errors raised as (subclasses of) :class:`TransientTaskError`,
+    #: recorded worker-side where the class object is still in hand.
+    transient_marker: bool = False
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "TaskError":
+        return cls(
+            exc_module=type(exc).__module__,
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            kind=KIND_EXCEPTION,
+            transient_marker=isinstance(exc, TransientTaskError),
+        )
+
+    @classmethod
+    def timeout(cls, timeout_s: float) -> "TaskError":
+        return cls(
+            exc_module="repro.runner.policy",
+            exc_type="TaskTimeout",
+            message=f"task exceeded its {timeout_s:g}s deadline and was killed",
+            kind=KIND_TIMEOUT,
+        )
+
+    @classmethod
+    def worker_crash(cls, detail: str) -> "TaskError":
+        return cls(
+            exc_module="repro.runner.policy",
+            exc_type="WorkerCrashed",
+            message=detail,
+            kind=KIND_WORKER_CRASH,
+        )
+
+    def format(self) -> str:
+        """The historical string encoding: summary line + worker traceback."""
+        return f"{self.exc_type}: {self.message}\n{self.traceback}"
+
+    @property
+    def summary(self) -> str:
+        return f"{self.exc_type}: {self.message}".splitlines()[0]
+
+    def manifest(self) -> Dict[str, Any]:
+        """JSON-able record for journals and failure manifests (no traceback
+        -- journals stay one lean line per event)."""
+        return {
+            "kind": self.kind,
+            "exc_module": self.exc_module,
+            "exc_type": self.exc_type,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic bounded-retry policy for batch tasks.
+
+    ``max_retries`` is the number of *re*-submissions after the first
+    attempt, so a task runs at most ``max_retries + 1`` times.  Timeouts
+    and worker crashes consume the same budget as transient exceptions
+    (a wedged task that times out on every attempt must exhaust, not
+    loop).
+    """
+
+    max_retries: int = 0
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    #: Jitter half-width as a fraction of the computed backoff.
+    jitter_frac: float = 0.25
+    #: Seed for the jitter stream; part of the policy so two supervisors
+    #: with equal policies schedule identically.
+    seed: int = 0
+    retryable_types: Tuple[str, ...] = DEFAULT_RETRYABLE_TYPES
+    retry_timeouts: bool = True
+    retry_crashes: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ValueError("jitter_frac must be in [0, 1)")
+
+    # -- classification --------------------------------------------------------
+
+    def classify(self, error: TaskError) -> str:
+        """``"transient"``, ``"timeout"``, ``"worker-crash"``, or ``"fatal"``.
+
+        The first three are retryable (subject to the per-kind flags);
+        ``"fatal"`` never is.
+        """
+        if error.kind == KIND_TIMEOUT:
+            return KIND_TIMEOUT
+        if error.kind == KIND_WORKER_CRASH:
+            return KIND_WORKER_CRASH
+        if error.transient_marker or error.exc_type in self.retryable_types:
+            return "transient"
+        return "fatal"
+
+    def should_retry(self, error: TaskError, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (1-based) deserves another go."""
+        if attempt > self.max_retries:
+            return False
+        classification = self.classify(error)
+        if classification == "transient":
+            return True
+        if classification == KIND_TIMEOUT:
+            return self.retry_timeouts
+        if classification == KIND_WORKER_CRASH:
+            return self.retry_crashes
+        return False
+
+    # -- backoff ---------------------------------------------------------------
+
+    def backoff_s(self, task_key: str, attempt: int) -> float:
+        """Delay before re-submitting ``task_key`` after attempt ``attempt``.
+
+        Capped exponential (``base * 2**(attempt-1)``, clamped to the cap)
+        with seeded jitter in ``[-jitter_frac, +jitter_frac]`` of the raw
+        delay.  Pure function of ``(policy, task_key, attempt)``.
+        """
+        raw = min(self.backoff_base_s * (2.0 ** max(0, attempt - 1)), self.backoff_cap_s)
+        if raw <= 0.0 or self.jitter_frac == 0.0:
+            return raw
+        entropy = (int(self.seed), zlib.crc32(task_key.encode("utf-8")), int(attempt))
+        unit = np.random.SeedSequence(entropy=entropy).generate_state(1)[0] / 2**32
+        return raw * (1.0 + self.jitter_frac * (2.0 * float(unit) - 1.0))
+
+    def with_retries(self, max_retries: int) -> "RetryPolicy":
+        return replace(self, max_retries=int(max_retries))
+
+
+def as_policy(retry: "Optional[RetryPolicy | int]") -> RetryPolicy:
+    """Coerce the :class:`BatchRunner` ``retry`` knob to a policy."""
+    if retry is None:
+        return RetryPolicy()
+    if isinstance(retry, RetryPolicy):
+        return retry
+    return RetryPolicy(max_retries=int(retry))

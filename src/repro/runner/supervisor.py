@@ -1,0 +1,304 @@
+"""The supervised worker pool behind :class:`~repro.runner.batch.BatchRunner`.
+
+``multiprocessing.Pool.imap_unordered`` is blind: a worker the OOM reaper
+SIGKILLs hangs or aborts the whole batch, a wedged task blocks forever, and
+the parent never learns which task a dead worker was holding.  This module
+replaces it with an explicit worker/pipe protocol the parent fully
+supervises:
+
+* each worker is a daemon :class:`multiprocessing.Process` joined to the
+  parent by one duplex :func:`multiprocessing.Pipe`.  Task chunks go down
+  the pipe; ``("start", ...)`` and ``("done", ...)`` events come back up.
+  Pipe sends are synchronous writes (no feeder thread, unlike
+  ``mp.Queue``), so a worker hard-killed right after reporting can never
+  lose the report;
+* the parent multiplexes every pipe *and* every process sentinel through
+  :func:`multiprocessing.connection.wait`, so worker death is an event, not
+  a timeout;
+* because workers announce each task before running it, the parent knows
+  exactly which task died with a worker (resubmitted under the retry
+  budget) and which assigned-but-unstarted tasks it was holding (requeued
+  for free -- they never ran);
+* per-task deadlines: a worker whose announced task outlives
+  ``task_timeout_s`` is SIGKILLed and replaced, and the attempt is settled
+  as a timeout failure through the same retry policy.
+
+Chunked assignment and group-sorted pending order are preserved from the
+old dispatch path, so warm per-worker state (see
+:mod:`repro.scenarios.execute`) keeps its locality.  Results, and therefore
+cache keys, are byte-identical to unsupervised execution -- the supervisor
+only changes what happens when something goes wrong.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import OrderedDict, deque
+from multiprocessing import connection, get_context
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from .faults import FaultPlan, apply_worker_fault
+from .policy import RetryPolicy, TaskError
+
+__all__ = ["run_supervised", "OnEvent"]
+
+#: Idle poll ceiling; deadline and backoff wakeups shorten it.
+_POLL_INTERVAL_S = 0.05
+_JOIN_TIMEOUT_S = 1.0
+
+#: One unit of supervised work: (task index, attempt number, fn path, config).
+Payload = Tuple[int, int, str, Dict[str, Any]]
+
+#: Event callback: kind is "start" | "done" | "retry" | "failed" | "restart".
+OnEvent = Callable[..., None]
+
+
+def _run_attempt(
+    index: int, attempt: int, fn_path: str, config: Dict[str, Any], plan: FaultPlan
+) -> Tuple[Any, Optional[TaskError]]:
+    """Execute one attempt (fault injection included), never raising."""
+    from .batch import resolve_callable
+
+    spec = plan.for_attempt(index, attempt)
+    try:
+        apply_worker_fault(spec, index, attempt)
+        fn = resolve_callable(fn_path)
+        return fn(**config), None
+    except Exception as exc:  # noqa: BLE001 -- deliberately broad per-task isolation
+        return None, TaskError.from_exception(exc)
+
+
+def _worker_main(conn: Any, fault_payload: Any) -> None:
+    """Worker loop: receive task chunks, announce and run each task.
+
+    Exits on the ``None`` sentinel or when the parent disappears.  The
+    ``start`` announcement is sent *before* execution so the parent can
+    attribute a crash or deadline overrun to the exact task.
+    """
+    plan = FaultPlan.from_payload(fault_payload)
+    while True:
+        try:
+            chunk = conn.recv()
+        except (EOFError, OSError):
+            break
+        if chunk is None:
+            break
+        for index, attempt, fn_path, config in chunk:
+            try:
+                conn.send(("start", index, attempt))
+            except (BrokenPipeError, OSError):
+                return
+            result, error = _run_attempt(index, attempt, fn_path, config, plan)
+            try:
+                conn.send(("done", index, attempt, result, error))
+            except (BrokenPipeError, OSError):
+                return
+
+
+class _Worker:
+    """Parent-side handle: process, pipe, and in-flight bookkeeping."""
+
+    __slots__ = ("process", "conn", "assigned", "current", "deadline")
+
+    def __init__(self, process: Any, conn: Any) -> None:
+        self.process = process
+        self.conn = conn
+        #: index -> payload for every task sent but not yet reported done.
+        self.assigned: "OrderedDict[int, Payload]" = OrderedDict()
+        #: (index, attempt) of the announced-but-unfinished task, if any.
+        self.current: Optional[Tuple[int, int]] = None
+        self.deadline: Optional[float] = None
+
+
+def run_supervised(
+    payloads: List[Tuple[int, str, Dict[str, Any]]],
+    *,
+    workers: int,
+    chunksize: int,
+    policy: RetryPolicy,
+    task_timeout_s: Optional[float],
+    faults: FaultPlan,
+    keys: Dict[int, str],
+    on_event: OnEvent,
+) -> None:
+    """Run ``payloads`` to terminal state under supervision.
+
+    Every task ends in exactly one ``done`` or ``failed`` event; ``retry``
+    and ``restart`` events narrate the path there.  ``keys`` (task index ->
+    cache key) seeds the policy's deterministic backoff jitter.
+    """
+    ctx = get_context()
+    fault_payload = faults.as_payload()
+    pending: Deque[Payload] = deque(
+        (index, 1, fn_path, config) for index, fn_path, config in payloads
+    )
+    #: Retries backing off: heap of (eligible_at, seq, payload).
+    waiting: List[Tuple[float, int, Payload]] = []
+    waiting_seq = 0
+    outstanding = len(pending)
+    pool: List[_Worker] = []
+
+    def spawn() -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_main, args=(child_conn, fault_payload), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        pool.append(_Worker(process, parent_conn))
+
+    def settle(index: int, attempt: int, result: Any, error: Optional[TaskError], now: float) -> None:
+        """One attempt's outcome -> done / retry-with-backoff / failed."""
+        nonlocal outstanding, waiting_seq
+        if error is None:
+            on_event("done", index=index, attempt=attempt, result=result)
+            outstanding -= 1
+            return
+        if policy.should_retry(error, attempt):
+            on_event("retry", index=index, attempt=attempt, error=error)
+            delay = policy.backoff_s(keys.get(index, str(index)), attempt)
+            payload = pending_payloads[index]
+            waiting_seq += 1
+            heapq.heappush(
+                waiting,
+                (now + delay, waiting_seq, (index, attempt + 1, payload[0], payload[1])),
+            )
+            return
+        on_event("failed", index=index, attempt=attempt, error=error)
+        outstanding -= 1
+
+    #: index -> (fn_path, config), for rebuilding retry payloads.
+    pending_payloads: Dict[int, Tuple[str, Dict[str, Any]]] = {
+        index: (fn_path, config) for index, fn_path, config in payloads
+    }
+
+    def handle_message(worker: _Worker, message: Tuple[Any, ...], now: float) -> None:
+        kind = message[0]
+        if kind == "start":
+            _, index, attempt = message
+            worker.current = (index, attempt)
+            worker.deadline = None if task_timeout_s is None else now + task_timeout_s
+            on_event("start", index=index, attempt=attempt)
+        elif kind == "done":
+            _, index, attempt, result, error = message
+            worker.assigned.pop(index, None)
+            worker.current = None
+            worker.deadline = None
+            settle(index, attempt, result, error, now)
+
+    def drain(worker: _Worker, now: float) -> None:
+        """Read every message already written to the worker's pipe."""
+        try:
+            while worker.conn.poll(0):
+                handle_message(worker, worker.conn.recv(), now)
+        except (EOFError, OSError):
+            pass
+
+    def reap(worker: _Worker, error: TaskError, now: float) -> None:
+        """Retire a dead worker: drain, attribute, requeue, count a restart.
+
+        The announced-but-unfinished task (if the drain did not reveal its
+        completion) is settled with ``error`` under the retry budget;
+        assigned-but-unstarted tasks requeue at the front -- they never
+        ran, so they cost no attempts.
+        """
+        drain(worker, now)
+        if worker.current is not None:
+            index, attempt = worker.current
+            worker.assigned.pop(index, None)
+            worker.current = None
+            settle(index, attempt, None, error, now)
+        for payload in reversed(list(worker.assigned.values())):
+            pending.appendleft(payload)
+        worker.assigned.clear()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(_JOIN_TIMEOUT_S)
+        pool.remove(worker)
+        on_event("restart")
+
+    try:
+        while outstanding > 0:
+            now = time.perf_counter()
+            while waiting and waiting[0][0] <= now:
+                _, _, payload = heapq.heappop(waiting)
+                pending.append(payload)
+            # Keep the pool at strength: one worker per outstanding task,
+            # capped at the configured parallelism.
+            while len(pool) < min(workers, outstanding):
+                spawn()
+            for worker in pool:
+                if worker.assigned or not pending:
+                    continue
+                count = min(chunksize, len(pending))
+                chunk = [pending.popleft() for _ in range(count)]
+                worker.assigned = OrderedDict((p[0], p) for p in chunk)
+                try:
+                    worker.conn.send(chunk)
+                except (BrokenPipeError, OSError):
+                    # Died before it could take work; sentinel handling
+                    # below reaps it.  The chunk never left the parent.
+                    for payload in reversed(chunk):
+                        pending.appendleft(payload)
+                    worker.assigned.clear()
+
+            timeout = _POLL_INTERVAL_S
+            for worker in pool:
+                if worker.deadline is not None:
+                    timeout = min(timeout, max(0.0, worker.deadline - now))
+            if waiting:
+                timeout = min(timeout, max(0.0, waiting[0][0] - now))
+            conn_map = {worker.conn: worker for worker in pool}
+            sentinel_map = {worker.process.sentinel: worker for worker in pool}
+            ready = connection.wait(
+                list(conn_map) + list(sentinel_map), timeout=timeout
+            )
+            now = time.perf_counter()
+
+            dead: List[_Worker] = []
+            for item in ready:
+                worker = conn_map.get(item)
+                if worker is not None:
+                    drain(worker, now)
+                else:
+                    sentinel_worker = sentinel_map.get(item)
+                    if sentinel_worker is not None:
+                        dead.append(sentinel_worker)
+            for worker in dead:
+                if worker not in pool:
+                    continue
+                code = worker.process.exitcode
+                index = worker.current[0] if worker.current is not None else None
+                detail = (
+                    f"worker process died (exit code {code})"
+                    if index is None
+                    else f"worker process died (exit code {code}) with task {index} in flight"
+                )
+                reap(worker, TaskError.worker_crash(detail), now)
+
+            now = time.perf_counter()
+            for worker in list(pool):
+                if worker.deadline is None or now < worker.deadline:
+                    continue
+                worker.process.kill()
+                worker.process.join(_JOIN_TIMEOUT_S)
+                reap(worker, TaskError.timeout(float(task_timeout_s or 0.0)), now)
+    finally:
+        for worker in pool:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in pool:
+            worker.process.join(0.2)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(_JOIN_TIMEOUT_S)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        pool.clear()

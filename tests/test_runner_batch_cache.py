@@ -209,6 +209,25 @@ class TestBatchErrorIsolation:
             BatchRunner(workers=0).run(self._tasks({1}))
         assert "1 failed" in excinfo.value.outcome.report.summary()
 
+    def test_structured_errors_mirror_string_failures(self):
+        # The legacy string channel is now a rendering of the structured
+        # TaskError record; both must stay in lockstep.
+        with pytest.raises(BatchExecutionError) as excinfo:
+            BatchRunner(workers=0).run(self._tasks({1}))
+        report = excinfo.value.outcome.report
+        assert set(report.errors) == set(report.failures) == {1}
+        error = report.errors[1]
+        assert (error.exc_module, error.exc_type) == ("builtins", "RuntimeError")
+        assert error.message == "task 1 exploded"
+        assert "Traceback (most recent call last)" in error.traceback
+        assert report.failures[1] == error.format()
+
+    def test_exception_message_format_unchanged(self):
+        # Byte-compatibility of the summary line consumers parse.
+        with pytest.raises(BatchExecutionError, match=r"1 of 4 batch task\(s\) failed "
+                                                      r"\(task 1: RuntimeError: task 1 exploded\)"):
+            BatchRunner(workers=0).run(self._tasks({1}))
+
 
 class TestScenarioCaching:
     def test_second_scenario_sweep_runs_zero_simulations(self, tmp_path):

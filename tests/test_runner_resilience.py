@@ -1,0 +1,473 @@
+"""Fault-tolerant execution: retries, deadlines, crash survival, journals.
+
+The chaos suite for the supervised runner.  Every fault here is injected
+through the deterministic :class:`~repro.runner.FaultPlan` harness -- no
+random kills, no real OOM -- so each scenario replays identically; tests
+that genuinely kill worker processes or burn wall-clock on deadlines carry
+the ``fault_injection`` marker (CI runs them as their own job).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import (
+    BatchExecutionError,
+    BatchRunner,
+    BatchTask,
+    FaultPlan,
+    FaultSpec,
+    ResultCache,
+    RetryPolicy,
+    RunJournal,
+    TaskError,
+    TransientTaskError,
+    default_journal_path,
+)
+from repro.runner.policy import as_policy
+
+#: Cheap pure task (module-level so spawn-started workers resolve it).
+SEED_TASK = "repro.runner.sweep.per_task_seed"
+ECHO_TASK = "repro.runner._testing.slow_echo"
+
+#: A retry policy that never sleeps: unit tests assert scheduling
+#: *decisions*, not wall-clock behaviour.
+FAST = RetryPolicy(max_retries=2, backoff_base_s=0.0, jitter_frac=0.0)
+
+
+def echo_tasks(n):
+    return [BatchTask(fn=ECHO_TASK, config={"value": i}) for i in range(n)]
+
+
+# -- RetryPolicy -------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_classification_taxonomy(self):
+        policy = RetryPolicy()
+        transient = TaskError.from_exception(TransientTaskError("wobble"))
+        fatal = TaskError.from_exception(ValueError("bad input"))
+        assert policy.classify(transient) == "transient"
+        assert policy.classify(fatal) == "fatal"
+        assert policy.classify(TaskError.timeout(1.0)) == "timeout"
+        assert policy.classify(TaskError.worker_crash("died")) == "worker-crash"
+        # Type-name taxonomy works without the marker.
+        os_error = TaskError.from_exception(OSError("disk hiccup"))
+        assert policy.classify(os_error) == "transient"
+
+    def test_transient_marker_survives_subclassing(self):
+        class MyTransient(TransientTaskError):
+            pass
+
+        error = TaskError.from_exception(MyTransient("custom"))
+        assert error.transient_marker
+        assert RetryPolicy(retryable_types=()).classify(error) == "transient"
+
+    def test_budget_is_bounded(self):
+        policy = RetryPolicy(max_retries=2)
+        error = TaskError.from_exception(TransientTaskError("wobble"))
+        assert policy.should_retry(error, attempt=1)
+        assert policy.should_retry(error, attempt=2)
+        assert not policy.should_retry(error, attempt=3)
+
+    def test_fatal_never_retried(self):
+        policy = RetryPolicy(max_retries=5)
+        error = TaskError.from_exception(ValueError("bad input"))
+        assert not policy.should_retry(error, attempt=1)
+
+    def test_per_kind_flags(self):
+        policy = RetryPolicy(max_retries=3, retry_timeouts=False, retry_crashes=False)
+        assert not policy.should_retry(TaskError.timeout(1.0), attempt=1)
+        assert not policy.should_retry(TaskError.worker_crash("died"), attempt=1)
+
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_cap_s=0.4, seed=7)
+        delays = [policy.backoff_s("key", attempt) for attempt in (1, 2, 3, 4, 5)]
+        # Pure function of (policy, key, attempt): same inputs, same delays.
+        assert delays == [policy.backoff_s("key", a) for a in (1, 2, 3, 4, 5)]
+        # Jitter is bounded around the capped exponential ramp.
+        for attempt, delay in enumerate(delays, start=1):
+            raw = min(0.1 * 2 ** (attempt - 1), 0.4)
+            assert raw * 0.75 <= delay <= raw * 1.25
+        # Different keys and seeds draw different jitter.
+        assert policy.backoff_s("other", 1) != policy.backoff_s("key", 1)
+        assert RetryPolicy(backoff_base_s=0.1, seed=8).backoff_s("key", 1) != delays[0]
+
+    def test_as_policy_coercion(self):
+        assert as_policy(None).max_retries == 0
+        assert as_policy(3).max_retries == 3
+        policy = RetryPolicy(max_retries=1)
+        assert as_policy(policy) is policy
+
+
+# -- structured errors -------------------------------------------------------
+
+
+class TestTaskError:
+    def test_format_matches_historical_string_encoding(self):
+        try:
+            raise RuntimeError("task 3 exploded")
+        except RuntimeError as exc:
+            error = TaskError.from_exception(exc)
+        assert error.format().startswith("RuntimeError: task 3 exploded\n")
+        assert "Traceback (most recent call last)" in error.format()
+        assert error.summary == "RuntimeError: task 3 exploded"
+
+    def test_manifest_is_lean_json(self):
+        error = TaskError.from_exception(ValueError("bad"))
+        manifest = error.manifest()
+        json.dumps(manifest)
+        assert manifest["exc_type"] == "ValueError"
+        assert manifest["kind"] == "exception"
+        assert "traceback" not in manifest
+
+    def test_report_carries_structured_errors(self):
+        tasks = [BatchTask(fn="repro.runner._testing.maybe_fail",
+                           config={"value": 1, "fail": True})]
+        with pytest.raises(BatchExecutionError) as excinfo:
+            BatchRunner(workers=0).run(tasks)
+        report = excinfo.value.outcome.report
+        assert report.errors[0].exc_type == "RuntimeError"
+        assert report.errors[0].kind == "exception"
+        # The string channel is the structured record's rendering.
+        assert report.failures[0] == report.errors[0].format()
+
+
+# -- retries -----------------------------------------------------------------
+
+
+class TestRetries:
+    def test_serial_retry_then_succeed(self):
+        faults = {1: FaultSpec(kind="transient", attempts=2)}
+        outcome = BatchRunner(workers=0, retry=FAST, faults=faults).run(echo_tasks(3))
+        assert outcome.results == [0, 2, 4]
+        assert outcome.report.retries == 2
+        assert outcome.report.attempts == 5  # 3 first tries + 2 retries
+        assert outcome.report.task_attempts[1] == 3
+        assert not outcome.report.failures
+
+    @pytest.mark.fault_injection
+    def test_parallel_retry_then_succeed(self):
+        faults = {2: FaultSpec(kind="transient", attempts=1)}
+        outcome = BatchRunner(workers=2, retry=FAST, faults=faults).run(echo_tasks(4))
+        assert outcome.results == [0, 2, 4, 6]
+        assert outcome.report.retries == 1
+        assert outcome.report.task_attempts[2] == 2
+
+    def test_budget_exhaustion_fails_the_task(self):
+        faults = {0: FaultSpec(kind="transient", attempts=10)}
+        with pytest.raises(BatchExecutionError) as excinfo:
+            BatchRunner(workers=0, retry=FAST, faults=faults).run(echo_tasks(2))
+        report = excinfo.value.outcome.report
+        assert report.task_attempts[0] == 3  # 1 + max_retries
+        assert report.errors[0].exc_type == "InjectedTransientError"
+
+    def test_fatal_error_not_retried(self):
+        faults = {0: FaultSpec(kind="fatal", attempts=10)}
+        with pytest.raises(BatchExecutionError) as excinfo:
+            BatchRunner(workers=0, retry=FAST, faults=faults).run(echo_tasks(2))
+        report = excinfo.value.outcome.report
+        assert report.task_attempts[0] == 1
+        assert report.retries == 0
+
+
+# -- deadlines ---------------------------------------------------------------
+
+
+class TestDeadlines:
+    @pytest.mark.fault_injection
+    def test_serial_deadline_disqualifies_after_the_fact(self):
+        tasks = [BatchTask(fn=ECHO_TASK, config={"value": 0, "sleep_s": 0.2})]
+        with pytest.raises(BatchExecutionError) as excinfo:
+            BatchRunner(workers=0, task_timeout_s=0.05).run(tasks)
+        report = excinfo.value.outcome.report
+        assert report.timeouts == 1
+        assert report.errors[0].kind == "timeout"
+
+    @pytest.mark.fault_injection
+    def test_parallel_deadline_kills_and_recycles_the_worker(self):
+        # Task 1 hangs far past the deadline on its first attempt only; the
+        # supervisor must kill that worker, count the timeout, and let the
+        # retry (fault stood down) succeed.
+        faults = {1: FaultSpec(kind="hang", attempts=1, delay_s=30.0)}
+        outcome = BatchRunner(
+            workers=2, retry=FAST, task_timeout_s=0.5, faults=faults
+        ).run(echo_tasks(4))
+        assert outcome.results == [0, 2, 4, 6]
+        assert outcome.report.timeouts == 1
+        assert outcome.report.worker_restarts >= 1
+
+    @pytest.mark.fault_injection
+    def test_deadline_exhaustion_without_retry_budget(self):
+        faults = {0: FaultSpec(kind="hang", attempts=5, delay_s=30.0)}
+        with pytest.raises(BatchExecutionError) as excinfo:
+            BatchRunner(workers=2, task_timeout_s=0.3, faults=faults).run(echo_tasks(2))
+        report = excinfo.value.outcome.report
+        assert report.errors[0].kind == "timeout"
+        assert "deadline" in report.failures[0]
+
+
+# -- worker crashes ----------------------------------------------------------
+
+
+class TestWorkerCrashes:
+    @pytest.mark.fault_injection
+    def test_killed_worker_loses_only_its_in_flight_task(self, tmp_path):
+        # Task 2's worker hard-exits (os._exit) on the first attempt; every
+        # other task's result must survive and task 2 must be resubmitted.
+        cache = ResultCache(tmp_path / "cache")
+        faults = {2: FaultSpec(kind="kill", attempts=1)}
+        outcome = BatchRunner(
+            workers=2, cache=cache, retry=FAST, faults=faults
+        ).run(echo_tasks(6))
+        assert outcome.results == [0, 2, 4, 6, 8, 10]
+        assert outcome.report.worker_restarts >= 1
+        assert outcome.report.retries >= 1
+        for task, expected in zip(echo_tasks(6), outcome.results):
+            assert cache.get_result(task.cache_key) == expected
+
+    @pytest.mark.fault_injection
+    def test_crash_without_budget_fails_only_that_task(self):
+        faults = {1: FaultSpec(kind="kill", attempts=5)}
+        with pytest.raises(BatchExecutionError) as excinfo:
+            BatchRunner(workers=2, retry=1, faults=faults).run(echo_tasks(4))
+        error = excinfo.value
+        assert set(error.failures) == {1}
+        assert excinfo.value.outcome.report.errors[1].kind == "worker-crash"
+        assert error.outcome.results == [0, None, 4, 6]
+
+    def test_serial_kill_is_simulated_not_executed(self):
+        # In-process mode cannot os._exit without taking the suite down;
+        # the kill fault degrades to a worker-crash error instead.
+        faults = {0: FaultSpec(kind="kill", attempts=1)}
+        outcome = BatchRunner(workers=0, retry=FAST, faults=faults).run(echo_tasks(1))
+        assert outcome.results == [0]
+        assert outcome.report.retries == 1
+
+
+# -- the acceptance scenario -------------------------------------------------
+
+
+@pytest.mark.fault_injection
+def test_acceptance_chaos_sweep(tmp_path):
+    """ISSUE 8 acceptance: one hard-killed worker, one deadline overrun,
+    one transient failure -- the sweep completes with exact accounting."""
+    cache = ResultCache(tmp_path / "cache")
+    journal = RunJournal(tmp_path / "cache" / "journal.jsonl")
+    faults = FaultPlan({
+        2: FaultSpec(kind="kill", attempts=1),
+        4: FaultSpec(kind="hang", attempts=1, delay_s=30.0),
+        6: FaultSpec(kind="transient", attempts=1),
+    })
+    outcome = BatchRunner(
+        workers=2,
+        cache=cache,
+        retry=RetryPolicy(max_retries=2, backoff_base_s=0.0, jitter_frac=0.0),
+        task_timeout_s=0.5,
+        journal=journal,
+        faults=faults,
+    ).run(echo_tasks(8))
+
+    assert outcome.results == [i * 2 for i in range(8)]
+    report = outcome.report
+    assert report.executed == 8
+    assert report.retries == 3          # one per injected fault
+    assert report.timeouts == 1         # the hang
+    assert report.worker_restarts >= 2  # the kill + the deadline kill
+    assert report.attempts == 11        # 8 first tries + 3 retries
+    assert not report.failures
+    assert outcome.failure_manifest == []
+
+    # The journal recorded the whole story and replays to "all done".
+    state = journal.replay()
+    tasks = echo_tasks(8)
+    assert all(state.is_completed(task.cache_key) for task in tasks)
+    assert state.attempts[tasks[2].cache_key] == 2
+
+
+# -- journals and resume -----------------------------------------------------
+
+
+class TestJournal:
+    def test_replay_reduces_to_last_terminal_event(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.record("aa", 0, "start", 1)
+        journal.record("aa", 0, "fail", 1, TaskError.from_exception(ValueError("x")))
+        journal.record("aa", 0, "start", 2)
+        journal.record("aa", 0, "complete", 2)
+        journal.record("bb", 1, "start", 1)  # dangling: still needs work
+        journal.close()
+        state = journal.replay()
+        assert state.is_completed("aa")
+        assert not state.is_completed("bb")
+        assert state.attempts == {"aa": 2, "bb": 1}
+        assert state.failed == {}
+
+    def test_replay_tolerates_corrupt_and_truncated_lines(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path)
+        journal.record("aa", 0, "complete", 1)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"key": "bb", "event": "comp')  # truncated tail
+        state = RunJournal(path).replay()
+        assert state.is_completed("aa")
+        assert not state.is_completed("bb")
+
+    def test_missing_file_is_a_fresh_campaign(self, tmp_path):
+        state = RunJournal(tmp_path / "nope.jsonl").replay()
+        assert state.completed == set()
+
+    def test_resume_skips_journaled_tasks(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        journal_path = default_journal_path(cache.root)
+        first = BatchRunner(
+            workers=0, cache=cache, journal=RunJournal(journal_path)
+        ).run(echo_tasks(4))
+        assert first.report.executed == 4
+        resumed = BatchRunner(
+            workers=0, cache=cache, journal=RunJournal(journal_path), resume=True
+        ).run(echo_tasks(4))
+        assert resumed.results == first.results
+        assert resumed.report.executed == 0
+        assert resumed.report.journal_skips == 4
+
+    def test_resume_trumps_force(self, tmp_path):
+        # A journaled-complete task is finished business: force re-executes
+        # everything *except* what the resume journal says is done.
+        cache = ResultCache(tmp_path / "cache")
+        journal_path = default_journal_path(cache.root)
+        BatchRunner(workers=0, cache=cache, journal=RunJournal(journal_path)).run(
+            echo_tasks(4)
+        )
+        resumed = BatchRunner(
+            workers=0, cache=cache, journal=RunJournal(journal_path),
+            resume=True, force=True,
+        ).run(echo_tasks(5))  # one new task beyond the journaled four
+        assert resumed.report.journal_skips == 4
+        assert resumed.report.executed == 1
+
+    def test_resume_reexecutes_failed_tail(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        journal_path = default_journal_path(cache.root)
+        faults = {3: FaultSpec(kind="fatal", attempts=1)}
+        with pytest.raises(BatchExecutionError):
+            BatchRunner(
+                workers=0, cache=cache, journal=RunJournal(journal_path), faults=faults
+            ).run(echo_tasks(4))
+        # Faults healed (no plan): resume executes exactly the failed task.
+        resumed = BatchRunner(
+            workers=0, cache=cache, journal=RunJournal(journal_path), resume=True
+        ).run(echo_tasks(4))
+        assert resumed.results == [0, 2, 4, 6]
+        assert resumed.report.executed == 1
+        assert resumed.report.journal_skips == 3
+
+    def test_journal_complete_but_cache_missing_reexecutes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        journal_path = default_journal_path(cache.root)
+        BatchRunner(workers=0, cache=cache, journal=RunJournal(journal_path)).run(
+            echo_tasks(2)
+        )
+        for task in echo_tasks(2):
+            cache._evict(task.cache_key)
+        resumed = BatchRunner(
+            workers=0, cache=cache, journal=RunJournal(journal_path), resume=True
+        ).run(echo_tasks(2))
+        assert resumed.results == [0, 2]
+        assert resumed.report.executed == 2
+        assert resumed.report.journal_skips == 0
+
+
+# -- degraded completion (on_error="skip") -----------------------------------
+
+
+class TestOnErrorSkip:
+    def test_partial_results_and_manifest(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        faults = {1: FaultSpec(kind="fatal", attempts=1)}
+        outcome = BatchRunner(
+            workers=0, cache=cache, faults=faults, on_error="skip"
+        ).run(echo_tasks(3))
+        assert outcome.results == [0, None, 4]
+        assert len(outcome.failure_manifest) == 1
+        entry = outcome.failure_manifest[0]
+        assert entry["index"] == 1
+        assert entry["kind"] == "exception"
+        assert entry["exc_type"] == "InjectedFatalError"
+        assert entry["attempts"] == 1
+        json.dumps(outcome.failure_manifest)
+        # Completed neighbours made it to the cache; the failed slot did not.
+        tasks = echo_tasks(3)
+        assert cache.get_result(tasks[0].cache_key) == 0
+        assert cache.get(tasks[1].cache_key) is None
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            BatchRunner(on_error="ignore")
+
+
+# -- cache corruption fault --------------------------------------------------
+
+
+class TestCorruptCacheFault:
+    def test_corrupted_entry_is_evicted_and_reexecuted(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        faults = {0: FaultSpec(kind="corrupt_cache", attempts=1)}
+        first = BatchRunner(workers=0, cache=cache, faults=faults).run(echo_tasks(1))
+        assert first.results == [0]  # the task itself succeeded
+        # The stored entry is garbage: the next run must treat it as a miss.
+        second = BatchRunner(workers=0, cache=cache).run(echo_tasks(1))
+        assert second.results == [0]
+        assert second.report.cache_hits == 0
+        assert second.report.executed == 1
+
+
+# -- progress heartbeat ------------------------------------------------------
+
+
+class TestProgressHeartbeat:
+    def test_heartbeat_fires_throughout_the_batch(self):
+        lines = []
+        BatchRunner(workers=0, progress_every=2).run(
+            echo_tasks(6), progress=lines.append
+        )
+        assert lines[0].startswith("executing 6/6 tasks")
+        beats = [line for line in lines if "tasks done" in line]
+        assert len(beats) == 3  # every 2 completions, plus the final one
+        assert beats[-1].startswith("6/6 tasks done")
+        assert "retries" in beats[-1]
+
+    def test_heartbeat_reports_resilience_counts(self):
+        lines = []
+        faults = {0: FaultSpec(kind="transient", attempts=1)}
+        BatchRunner(workers=0, retry=FAST, faults=faults, progress_every=1).run(
+            echo_tasks(2), progress=lines.append
+        )
+        assert any("1 retries" in line for line in lines)
+
+    def test_no_progress_callback_no_crash(self):
+        outcome = BatchRunner(workers=0, progress_every=1).run(echo_tasks(2))
+        assert outcome.results == [0, 2]
+
+
+# -- report summary byte-compatibility ---------------------------------------
+
+
+class TestSummaryCompatibility:
+    def test_clean_run_summary_unchanged(self):
+        outcome = BatchRunner(workers=0).run(echo_tasks(2))
+        summary = outcome.report.summary()
+        assert "2 tasks: 2 executed, 0 cache hits (1 worker(s)," in summary
+        for segment in ("retries", "timeouts", "restarts", "journal"):
+            assert segment not in summary
+
+    def test_resilience_segments_appear_only_when_nonzero(self):
+        faults = {0: FaultSpec(kind="transient", attempts=1)}
+        outcome = BatchRunner(workers=0, retry=FAST, faults=faults).run(echo_tasks(1))
+        summary = outcome.report.summary()
+        assert "1 retries" in summary
+        assert "timeouts" not in summary
