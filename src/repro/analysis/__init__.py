@@ -7,36 +7,51 @@ equivalence test runs.  This package machine-checks them at the AST level:
 
 * a small rule engine (:mod:`repro.analysis.engine`) walking ``src/repro``
   with per-file :class:`~repro.analysis.context.FileContext` dispatch,
-* ~8 project-specific rules (:mod:`repro.analysis.rules`) encoding the
-  invariants PRs 2-6 established by convention,
+* ~9 project-specific syntactic rules (:mod:`repro.analysis.rules`)
+  encoding the invariants PRs 2-6 established by convention,
+* a whole-program layer (:mod:`repro.analysis.flow`): per-file facts,
+  a conservative call graph, and three interprocedural rules --
+  seed-provenance taint tracking, determinism reachability from
+  ``Scenario.run``/``Simulator.run``, and cache-key read-set soundness --
+  with an incremental fact cache keyed by source hash,
 * ``# simlint: disable=<rule>`` suppression comments for justified
   exceptions at the line, and a committed JSON baseline
   (:mod:`repro.analysis.baseline`) for grandfathered findings,
-* text and ``--json`` reporters (:mod:`repro.analysis.report`).
+* text, ``--json``, and ``--sarif`` reporters (:mod:`repro.analysis.report`).
 
 Run it as ``python -m repro.analysis check`` (see :mod:`repro.analysis.__main__`)
-or from tests via :func:`run_checks` / :func:`check_source`.
+or from tests via :func:`run_checks` / :func:`check_source` /
+:func:`check_sources`.
 """
 
 from __future__ import annotations
 
 from .baseline import Baseline, BaselineComparison
 from .context import FileContext
-from .engine import Rule, check_source, run_checks
+from .engine import CheckRun, Rule, check_source, check_sources, run_checks
 from .findings import Finding
-from .report import render_json, render_text
+from .flow import FLOW_RULE_CLASSES, FactCache, FlowRule, ProgramIndex, default_flow_rules
+from .report import render_json, render_sarif, render_text
 from .rules import RULE_CLASSES, default_rules
 
 __all__ = [
     "Baseline",
     "BaselineComparison",
+    "CheckRun",
+    "FLOW_RULE_CLASSES",
+    "FactCache",
     "FileContext",
     "Finding",
+    "FlowRule",
+    "ProgramIndex",
     "Rule",
     "RULE_CLASSES",
     "check_source",
+    "check_sources",
+    "default_flow_rules",
     "default_rules",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_checks",
 ]

@@ -1,0 +1,41 @@
+"""Whole-program (interprocedural) layer of simlint.
+
+``repro.analysis.flow`` builds per-file facts (:mod:`.facts`), indexes
+them into a symbol table + conservative call graph (:mod:`.index`), and
+runs three interprocedural rules (:mod:`.rules`) on top: seed-provenance
+taint tracking, determinism reachability from ``Scenario.run`` /
+``Simulator.run``, and cache-key read-set soundness.  Facts are
+incrementally cached per file (:mod:`.cache`) so warm runs skip the AST
+entirely.
+"""
+
+from __future__ import annotations
+
+from .cache import FACTS_CACHE_BASENAME, FactCache, fact_key
+from .facts import FACTS_VERSION, FileFacts, extract_facts
+from .index import ProgramIndex, Resolved
+from .rules import (
+    FLOW_RULE_CLASSES,
+    CacheKeySoundnessRule,
+    DeterminismReachabilityRule,
+    FlowRule,
+    SeedProvenanceRule,
+    default_flow_rules,
+)
+
+__all__ = [
+    "FACTS_CACHE_BASENAME",
+    "FACTS_VERSION",
+    "FLOW_RULE_CLASSES",
+    "CacheKeySoundnessRule",
+    "DeterminismReachabilityRule",
+    "FactCache",
+    "FileFacts",
+    "FlowRule",
+    "ProgramIndex",
+    "Resolved",
+    "SeedProvenanceRule",
+    "default_flow_rules",
+    "extract_facts",
+    "fact_key",
+]

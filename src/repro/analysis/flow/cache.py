@@ -1,0 +1,109 @@
+"""Incremental per-file fact cache for the flow layer.
+
+Facts are pure functions of ``(source text, extraction version)``, so they
+cache perfectly: each file's entry is keyed by
+``sha256(FACTS_VERSION, source)`` and survives any edit elsewhere in the
+tree.  The cache is one JSON document stored next to the committed
+baseline (``simlint_facts.json`` by convention) and is safe to delete at
+any time -- a miss only costs re-extraction.  CI persists it across runs
+with ``actions/cache``, which is what keeps the whole-program pass warm.
+
+Corrupt or version-skewed cache files are discarded wholesale rather than
+trusted: a fact cache must never be able to change analysis results, only
+their latency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .facts import FACTS_VERSION, FileFacts
+
+__all__ = ["FactCache", "FACTS_CACHE_BASENAME", "fact_key"]
+
+#: File name used when the cache is placed next to the baseline.
+FACTS_CACHE_BASENAME = "simlint_facts.json"
+
+_SCHEMA = 1
+
+
+def fact_key(source: str) -> str:
+    """Cache key for one file's facts: hash of (extraction version, source)."""
+    digest = hashlib.sha256()
+    digest.update(FACTS_VERSION.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class FactCache:
+    """A load/lookup/store wrapper around the on-disk fact store."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._seen: Dict[str, Dict[str, object]] = {}
+        self._dirty = False
+        if self.path is not None and self.path.is_file():
+            try:
+                payload = json.loads(self.path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                payload = None
+            if (
+                isinstance(payload, dict)
+                and payload.get("schema") == _SCHEMA
+                and payload.get("version") == FACTS_VERSION
+                and isinstance(payload.get("files"), dict)
+            ):
+                self._entries = dict(payload["files"])
+
+    def get(self, path: str, source: str) -> Optional[FileFacts]:
+        """Cached facts for ``path`` if the stored key matches ``source``."""
+        key = fact_key(source)
+        entry = self._entries.get(path)
+        if isinstance(entry, dict) and entry.get("key") == key:
+            facts_payload = entry.get("facts")
+            if isinstance(facts_payload, dict):
+                try:
+                    facts = FileFacts.from_dict(facts_payload)
+                except (KeyError, TypeError, ValueError):
+                    facts = None
+                if facts is not None:
+                    self.hits += 1
+                    self._seen[path] = entry
+                    return facts
+        self.misses += 1
+        return None
+
+    def put(self, path: str, source: str, facts: FileFacts) -> None:
+        entry: Dict[str, object] = {"key": fact_key(source), "facts": facts.as_dict()}
+        self._seen[path] = entry
+        if self._entries.get(path) != entry:
+            self._dirty = True
+
+    def save(self) -> None:
+        """Persist exactly the entries seen this run (drops deleted files)."""
+        if self.path is None:
+            return
+        pruned = sorted(set(self._entries) - set(self._seen))
+        if not self._dirty and not pruned:
+            return
+        payload = {
+            "schema": _SCHEMA,
+            "version": FACTS_VERSION,
+            "files": {path: self._seen[path] for path in sorted(self._seen)},
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        except OSError:
+            # An unwritable cache location degrades to a cold run, never a
+            # failed one.
+            return

@@ -1,0 +1,948 @@
+"""Per-file facts for the whole-program (flow) layer of simlint.
+
+The interprocedural rules never touch an AST at analysis time: everything
+they need is extracted *once per file* into a :class:`FileFacts` record --
+a plain JSON-able value keyed by ``sha256(rules-version, source)`` in the
+incremental fact cache.  A warm CI run therefore deserialises facts and
+runs the (cheap) whole-program propagation without re-walking a single
+tree.
+
+What gets extracted per function
+--------------------------------
+* **call sites** with a structured target reference (a lexically resolved
+  dotted path, a ``self.<attr>``/``cls.<attr>`` chain, or an
+  inferred-local-type ``<Type>.<attr>`` chain) so the
+  :class:`~repro.analysis.flow.index.ProgramIndex` can build a
+  conservative call graph without re-parsing;
+* **taint flows**: which call arguments carry an RNG value -- an unseeded
+  construction (``default_rng()``), a seeded one, or the value of one of
+  the function's own parameters (the hook interprocedural taint
+  propagation hangs edges on);
+* **impure operations**: wall-clock reads, ``os.environ``/``os.urandom``
+  touches, and module-global mutation (``global`` rebinding or
+  subscript/attribute stores on module-level names);
+* **attribute read sets**: ``self.<field>`` reads and ``<param>.<field>``
+  reads, which the cache-key-soundness rule intersects with a spec class's
+  dataclass fields.
+
+Local inference is deliberately lexical and flow-insensitive: parameter
+and variable annotations, direct constructor assignments, and
+tuple-unpacked calls whose callee has a ``Tuple[...]`` return annotation.
+That is exactly enough to follow the project idiom (``net, placement =
+self.build_network(...)``) without pretending to be a type checker.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..context import FileContext
+
+__all__ = [
+    "FACTS_VERSION",
+    "CallFact",
+    "TaintedArg",
+    "ImpureFact",
+    "GlobalWriteFact",
+    "AttrReadFact",
+    "ParamDefaultFact",
+    "FunctionFacts",
+    "ClassFacts",
+    "FileFacts",
+    "extract_facts",
+]
+
+#: Bumped whenever extraction logic changes shape or meaning; part of the
+#: fact-cache key, so stale cached facts can never poison an analysis.
+FACTS_VERSION = "flow-1"
+
+# -- RNG construction classification --------------------------------------------
+
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+        "numpy.random.SeedSequence",
+    }
+)
+
+#: Methods on an RNG-ish value that yield another value of the same
+#: provenance (spawning children keeps the parent's seededness).
+_RNG_DERIVING_METHODS = frozenset({"spawn", "spawn_key", "generate_state"})
+
+# -- ambient-state (impurity) classification -------------------------------------
+
+_IMPURE_CALL_EXACT = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getenv",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Any call into these modules reads ambient machine state.  ``time.*``
+#: covers time()/monotonic()/perf_counter()/sleep() and friends.
+_IMPURE_CALL_PREFIXES = ("time.",)
+
+#: Non-call expressions that are ambient-state reads wherever they appear
+#: (subscripts, .get(...), iteration -- the expression itself is the read).
+_IMPURE_ATTRIBUTES = frozenset({"os.environ"})
+
+
+# -- fact records ----------------------------------------------------------------
+#
+# Every record round-trips through plain dicts (``as_dict`` /
+# ``*_from_dict``) so the whole :class:`FileFacts` is JSON-able for the
+# incremental fact cache.
+
+#: A structured call-target reference, JSON-able.
+#: kinds: {"kind": "path", "path": str}
+#:        {"kind": "self", "chain": [attr, ...], "cls": local class qualname}
+#:        {"kind": "typed", "base": TypeRef, "chain": [attr, ...]}
+TargetRef = Dict[str, Any]
+
+#: A lexical local-type descriptor, JSON-able.
+#: kinds: {"kind": "path", "path": str}
+#:        {"kind": "call", "target": TargetRef, "elem": Optional[int]}
+TypeRef = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class TaintedArg:
+    """One call argument carrying an RNG-ish value."""
+
+    #: Positional index (int) or keyword name (str) at the call site.
+    slot: Union[int, str]
+    #: ``"unseeded"`` / ``"seeded"`` / ``"param"``.
+    kind: str
+    #: Parameter name when ``kind == "param"``.
+    param: str = ""
+    #: Construction site when ``kind`` is a construction taint.
+    line: int = 0
+    col: int = 0
+    snippet: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "slot": self.slot,
+            "kind": self.kind,
+            "param": self.param,
+            "line": self.line,
+            "col": self.col,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass(frozen=True)
+class CallFact:
+    """One call site inside a function body."""
+
+    target: TargetRef
+    line: int
+    col: int
+    snippet: str
+    tainted_args: Tuple[TaintedArg, ...] = ()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "line": self.line,
+            "col": self.col,
+            "snippet": self.snippet,
+            "tainted_args": [arg.as_dict() for arg in self.tainted_args],
+        }
+
+
+@dataclass(frozen=True)
+class ImpureFact:
+    """One ambient-state touch (wall clock, environ, urandom, ...)."""
+
+    what: str  #: resolved path of the offending read, e.g. ``time.time``
+    line: int
+    col: int
+    snippet: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"what": self.what, "line": self.line, "col": self.col, "snippet": self.snippet}
+
+
+@dataclass(frozen=True)
+class GlobalWriteFact:
+    """One module-global mutation inside a function body."""
+
+    name: str
+    line: int
+    col: int
+    snippet: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "line": self.line, "col": self.col, "snippet": self.snippet}
+
+
+@dataclass(frozen=True)
+class AttrReadFact:
+    """One ``<base>.<attr>`` read, where base is ``self`` or a parameter."""
+
+    base: str  #: ``"self"`` or the parameter name
+    attr: str
+    line: int
+    col: int
+    snippet: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "base": self.base,
+            "attr": self.attr,
+            "line": self.line,
+            "col": self.col,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass(frozen=True)
+class ParamDefaultFact:
+    """A parameter whose default expression constructs an RNG."""
+
+    param: str
+    kind: str  #: ``"unseeded"`` or ``"seeded"``
+    line: int
+    col: int
+    snippet: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "param": self.param,
+            "kind": self.kind,
+            "line": self.line,
+            "col": self.col,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the flow rules know about one function or method."""
+
+    qualname: str  #: fully dotted, e.g. ``repro.scenarios.spec.Scenario.run``
+    name: str
+    cls: Optional[str]  #: enclosing class qualname, or None for module level
+    params: Tuple[str, ...]
+    line: int
+    col: int
+    returns: Optional[TypeRef] = None
+    #: For ``Tuple[A, B]`` return annotations: per-element type paths.
+    returns_elems: Tuple[Optional[str], ...] = ()
+    calls: List[CallFact] = field(default_factory=list)
+    impure: List[ImpureFact] = field(default_factory=list)
+    global_writes: List[GlobalWriteFact] = field(default_factory=list)
+    attr_reads: List[AttrReadFact] = field(default_factory=list)
+    param_defaults: List[ParamDefaultFact] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "cls": self.cls,
+            "params": list(self.params),
+            "line": self.line,
+            "col": self.col,
+            "returns": self.returns,
+            "returns_elems": list(self.returns_elems),
+            "calls": [call.as_dict() for call in self.calls],
+            "impure": [fact.as_dict() for fact in self.impure],
+            "global_writes": [fact.as_dict() for fact in self.global_writes],
+            "attr_reads": [fact.as_dict() for fact in self.attr_reads],
+            "param_defaults": [fact.as_dict() for fact in self.param_defaults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FunctionFacts":
+        return cls(
+            qualname=payload["qualname"],
+            name=payload["name"],
+            cls=payload["cls"],
+            params=tuple(payload["params"]),
+            line=payload["line"],
+            col=payload["col"],
+            returns=payload.get("returns"),
+            returns_elems=tuple(payload.get("returns_elems", ())),
+            calls=[
+                CallFact(
+                    target=entry["target"],
+                    line=entry["line"],
+                    col=entry["col"],
+                    snippet=entry["snippet"],
+                    tainted_args=tuple(
+                        TaintedArg(
+                            slot=arg["slot"],
+                            kind=arg["kind"],
+                            param=arg.get("param", ""),
+                            line=arg.get("line", 0),
+                            col=arg.get("col", 0),
+                            snippet=arg.get("snippet", ""),
+                        )
+                        for arg in entry.get("tainted_args", ())
+                    ),
+                )
+                for entry in payload.get("calls", ())
+            ],
+            impure=[ImpureFact(**entry) for entry in payload.get("impure", ())],
+            global_writes=[GlobalWriteFact(**entry) for entry in payload.get("global_writes", ())],
+            attr_reads=[AttrReadFact(**entry) for entry in payload.get("attr_reads", ())],
+            param_defaults=[ParamDefaultFact(**entry) for entry in payload.get("param_defaults", ())],
+        )
+
+
+@dataclass
+class ClassFacts:
+    """Class shape facts: fields, methods, bases, inferred attribute types."""
+
+    qualname: str
+    name: str
+    line: int
+    col: int
+    bases: Tuple[str, ...] = ()  #: lexically resolved base-class paths
+    methods: Tuple[str, ...] = ()
+    #: Dataclass-style annotated field names declared in the class body,
+    #: with their declaration sites (for reporting).
+    fields: Dict[str, Tuple[int, int, str]] = field(default_factory=dict)
+    has_as_config: bool = False
+    #: ``as_config`` calls ``asdict(self)`` / ``dataclasses.asdict(self)``.
+    as_config_covers_all: bool = False
+    #: String constants + ``self.<attr>`` reads inside ``as_config``.
+    as_config_names: Tuple[str, ...] = ()
+    #: ``self.<attr> = Ctor(...)`` / ``self.<attr>: T`` inferred types.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "line": self.line,
+            "col": self.col,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+            "fields": {name: list(site) for name, site in self.fields.items()},
+            "has_as_config": self.has_as_config,
+            "as_config_covers_all": self.as_config_covers_all,
+            "as_config_names": list(self.as_config_names),
+            "attr_types": dict(self.attr_types),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ClassFacts":
+        return cls(
+            qualname=payload["qualname"],
+            name=payload["name"],
+            line=payload["line"],
+            col=payload["col"],
+            bases=tuple(payload.get("bases", ())),
+            methods=tuple(payload.get("methods", ())),
+            fields={
+                name: (site[0], site[1], site[2])
+                for name, site in payload.get("fields", {}).items()
+            },
+            has_as_config=payload.get("has_as_config", False),
+            as_config_covers_all=payload.get("as_config_covers_all", False),
+            as_config_names=tuple(payload.get("as_config_names", ())),
+            attr_types=dict(payload.get("attr_types", {})),
+        )
+
+
+@dataclass
+class FileFacts:
+    """The complete flow-relevant summary of one source file."""
+
+    path: str
+    module: str
+    is_package: bool
+    functions: List[FunctionFacts] = field(default_factory=list)
+    classes: List[ClassFacts] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "is_package": self.is_package,
+            "functions": [fn.as_dict() for fn in self.functions],
+            "classes": [cl.as_dict() for cl in self.classes],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FileFacts":
+        return cls(
+            path=payload["path"],
+            module=payload["module"],
+            is_package=payload["is_package"],
+            functions=[FunctionFacts.from_dict(entry) for entry in payload.get("functions", ())],
+            classes=[ClassFacts.from_dict(entry) for entry in payload.get("classes", ())],
+        )
+
+
+# -- extraction ------------------------------------------------------------------
+
+
+def _annotation_paths(ctx: FileContext, node: Optional[ast.AST]) -> Tuple[Optional[str], List[Optional[str]]]:
+    """(single type path, tuple element paths) for an annotation expression.
+
+    Handles bare names/attributes, ``Optional[X]`` / ``X | None``,
+    string-literal forward references, and ``Tuple[A, B]`` / ``tuple[A, B]``
+    (element paths).  Anything fancier resolves to ``(None, [])``.
+    """
+    if node is None:
+        return None, []
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None, []
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return ctx.resolve(node), []
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            if isinstance(side, ast.Constant) and side.value is None:
+                continue
+            single, _ = _annotation_paths(ctx, side)
+            if single is not None:
+                return single, []
+        return None, []
+    if isinstance(node, ast.Subscript):
+        base = ctx.resolve(node.value)
+        if base is None:
+            return None, []
+        head = base.rsplit(".", 1)[-1]
+        inner = node.slice
+        if head in ("Optional",):
+            single, _ = _annotation_paths(ctx, inner)
+            return single, []
+        if head in ("Tuple", "tuple") and isinstance(inner, ast.Tuple):
+            elems = [_annotation_paths(ctx, elt)[0] for elt in inner.elts]
+            return None, elems
+    return None, []
+
+
+def _rng_construction_kind(ctx: FileContext, node: ast.AST) -> Optional[str]:
+    """``"seeded"`` / ``"unseeded"`` when ``node`` constructs an RNG value."""
+    if not isinstance(node, ast.Call):
+        return None
+    path = ctx.resolve(node.func)
+    if path is None or path not in _RNG_CONSTRUCTORS:
+        return None
+    return "seeded" if (node.args or node.keywords) else "unseeded"
+
+
+class _FunctionExtractor(ast.NodeVisitor):
+    """Walks one function body, producing a :class:`FunctionFacts`.
+
+    Nested functions and lambdas are visited in place (their calls belong
+    to the enclosing function's facts -- a conservative flattening that
+    keeps closures from hiding sinks), but their parameters do not shadow
+    the outer taint environment beyond the nested scope.
+    """
+
+    def __init__(
+        self,
+        ctx: FileContext,
+        facts: FunctionFacts,
+        module_globals: Sequence[str],
+        local_names: Sequence[str] = (),
+    ) -> None:
+        self.ctx = ctx
+        self.facts = facts
+        self.module_globals = frozenset(module_globals)
+        #: Every name bound anywhere in this function (params, assignments,
+        #: loop targets, nested defs): a store through one of these is a
+        #: *local* mutation even when the name shadows a module global.
+        self.local_names = frozenset(local_names) | frozenset(facts.params)
+        #: Names rebound via ``global`` inside this function.
+        self.declared_global: set = set()
+        #: Local var name -> TypeRef (lexical inference).
+        self.var_types: Dict[str, TypeRef] = {}
+        #: Local var name -> taint SourceRef-ish tuple (kind, line, col, snippet).
+        self.taint: Dict[str, Tuple[str, int, int, str]] = {}
+        for param in facts.params:
+            self.taint[param] = ("param", 0, 0, param)
+
+    # -- small helpers ---------------------------------------------------------
+
+    def _snippet(self, node: ast.AST) -> str:
+        return self.ctx.snippet(getattr(node, "lineno", 1))
+
+    def _type_of_expr(self, node: ast.AST) -> Optional[TypeRef]:
+        """Lexical type of an assigned expression, if inferable."""
+        if isinstance(node, ast.IfExp):
+            return self._type_of_expr(node.body) or self._type_of_expr(node.orelse)
+        if isinstance(node, ast.Call):
+            target = self._target_ref(node.func)
+            if target is None:
+                return None
+            if target.get("kind") == "path":
+                return {"kind": "path", "path": target["path"]}
+            return {"kind": "call", "target": target, "elem": None}
+        return None
+
+    def _target_ref(self, func: ast.AST) -> Optional[TargetRef]:
+        """Structured reference for a call's function expression."""
+        chain: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        chain.reverse()
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in ("self", "cls") and self.facts.cls is not None:
+            if not chain:
+                return None
+            return {"kind": "self", "chain": chain, "cls": self.facts.cls}
+        if root in self.var_types and root not in self.ctx.imports:
+            if not chain:
+                return None
+            return {"kind": "typed", "base": self.var_types[root], "chain": chain}
+        path = self.ctx.resolve(func)
+        if path is None:
+            return None
+        return {"kind": "path", "path": path}
+
+    def _taint_of_expr(self, node: ast.AST) -> Optional[Tuple[str, int, int, str]]:
+        """Taint carried by an expression used as a call argument."""
+        kind = _rng_construction_kind(self.ctx, node)
+        if kind is not None:
+            return (kind, node.lineno, node.col_offset, self._snippet(node))
+        if isinstance(node, ast.Name):
+            return self.taint.get(node.id)
+        if isinstance(node, ast.Call):
+            # rng.spawn(...) / seed_seq.spawn(...) keep the parent's taint.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RNG_DERIVING_METHODS
+                and isinstance(func.value, ast.Name)
+            ):
+                return self.taint.get(func.value.id)
+        return None
+
+    # -- assignments (types + taint + global writes) ---------------------------
+
+    def _record_assign_target(self, target: ast.AST, value: Optional[ast.AST]) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.declared_global:
+                self.facts.global_writes.append(
+                    GlobalWriteFact(
+                        name=target.id,
+                        line=target.lineno,
+                        col=target.col_offset,
+                        snippet=self._snippet(target),
+                    )
+                )
+                return
+            if value is not None:
+                inferred = self._type_of_expr(value)
+                if inferred is not None:
+                    self.var_types[target.id] = inferred
+                taint = self._taint_of_expr(value)
+                if taint is not None:
+                    self.taint[target.id] = taint
+                else:
+                    self.taint.pop(target.id, None)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)) and value is not None:
+            call_type = self._type_of_expr(value)
+            for elem_index, elt in enumerate(target.elts):
+                if not isinstance(elt, ast.Name):
+                    continue
+                if call_type is not None and call_type.get("kind") == "call":
+                    self.var_types[elt.id] = {
+                        "kind": "call",
+                        "target": call_type["target"],
+                        "elem": elem_index,
+                    }
+                self.taint.pop(elt.id, None)
+            return
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = target.value
+            while isinstance(root, (ast.Subscript, ast.Attribute)):
+                root = root.value
+            if (
+                isinstance(root, ast.Name)
+                and (root.id in self.module_globals or root.id in self.declared_global)
+                and root.id not in self.local_names
+            ):
+                self.facts.global_writes.append(
+                    GlobalWriteFact(
+                        name=root.id,
+                        line=target.lineno,
+                        col=target.col_offset,
+                        snippet=self._snippet(target),
+                    )
+                )
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.declared_global.update(node.names)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for target in node.targets:
+            self._record_assign_target(target, node.value)
+            # Subscript indexes and attribute bases of the target are
+            # *reads* (and may contain calls); visit them too.
+            if not isinstance(target, ast.Name):
+                self.visit(target)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        if not isinstance(node.target, ast.Name):
+            self.visit(node.target)
+        if isinstance(node.target, ast.Name) and node.target.id in self.declared_global:
+            self.facts.global_writes.append(
+                GlobalWriteFact(
+                    name=node.target.id,
+                    line=node.target.lineno,
+                    col=node.target.col_offset,
+                    snippet=self._snippet(node.target),
+                )
+            )
+        else:
+            self._record_assign_target(node.target, None)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+        if isinstance(node.target, ast.Name):
+            single, _ = _annotation_paths(self.ctx, node.annotation)
+            if single is not None:
+                self.var_types[node.target.id] = {"kind": "path", "path": single}
+            if node.value is not None:
+                self._record_assign_target(node.target, node.value)
+        else:
+            self._record_assign_target(node.target, node.value)
+            self.visit(node.target)
+
+    # -- reads (impure attributes + attr read set) ------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        path = self.ctx.resolve(node)
+        if path in _IMPURE_ATTRIBUTES:
+            self.facts.impure.append(
+                ImpureFact(
+                    what=str(path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    snippet=self._snippet(node),
+                )
+            )
+        if (
+            isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and (node.value.id == "self" or node.value.id in self.facts.params)
+        ):
+            self.facts.attr_reads.append(
+                AttrReadFact(
+                    base=node.value.id,
+                    attr=node.attr,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    snippet=self._snippet(node),
+                )
+            )
+        self.generic_visit(node)
+
+    # -- calls -----------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        path = self.ctx.resolve(node.func)
+        if path is not None and (
+            path in _IMPURE_CALL_EXACT
+            or any(path.startswith(prefix) for prefix in _IMPURE_CALL_PREFIXES)
+        ):
+            self.facts.impure.append(
+                ImpureFact(
+                    what=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    snippet=self._snippet(node),
+                )
+            )
+        target = self._target_ref(node.func)
+        if target is not None:
+            tainted: List[TaintedArg] = []
+            for index, arg in enumerate(node.args):
+                if isinstance(arg, ast.Starred):
+                    continue
+                taint = self._taint_of_expr(arg)
+                if taint is not None:
+                    tainted.append(self._tainted_arg(index, taint))
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                taint = self._taint_of_expr(keyword.value)
+                if taint is not None:
+                    tainted.append(self._tainted_arg(keyword.arg, taint))
+            self.facts.calls.append(
+                CallFact(
+                    target=target,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    snippet=self._snippet(node),
+                    tainted_args=tuple(tainted),
+                )
+            )
+        self.generic_visit(node)
+
+    def _tainted_arg(
+        self, slot: Union[int, str], taint: Tuple[str, int, int, str]
+    ) -> TaintedArg:
+        kind, line, col, snippet = taint
+        if kind == "param":
+            return TaintedArg(slot=slot, kind="param", param=snippet)
+        return TaintedArg(slot=slot, kind=kind, line=line, col=col, snippet=snippet)
+
+    # Nested defs: walk their bodies as part of this function (conservative
+    # flattening), but do not recurse into their parameter lists twice.
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            self.visit(stmt)
+
+
+def _bound_names(body: Sequence[ast.stmt]) -> Tuple[str, ...]:
+    """Every name bound anywhere inside a function body.
+
+    Used to distinguish ``d[k] = v`` on a *local* ``d`` (even one shadowing
+    a module global) from a genuine module-global mutation.
+    """
+    names: set = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+                names.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+                names.update(arg.arg for arg in _flat_args(node.args))
+            elif isinstance(node, ast.ClassDef):
+                names.add(node.name)
+    return tuple(sorted(names))
+
+
+def _flat_args(args: ast.arguments) -> List[ast.arg]:
+    flat = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    if args.vararg is not None:
+        flat.append(args.vararg)
+    if args.kwarg is not None:
+        flat.append(args.kwarg)
+    return flat
+
+
+def _param_names(args: ast.arguments) -> Tuple[str, ...]:
+    names = [arg.arg for arg in args.posonlyargs + args.args]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    names.extend(arg.arg for arg in args.kwonlyargs)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+def _param_default_facts(
+    ctx: FileContext, node: ast.FunctionDef
+) -> List[ParamDefaultFact]:
+    facts: List[ParamDefaultFact] = []
+    positional = node.args.posonlyargs + node.args.args
+    defaults = node.args.defaults
+    offset = len(positional) - len(defaults)
+    pairs = [(positional[offset + i].arg, default) for i, default in enumerate(defaults)]
+    pairs.extend(
+        (arg.arg, default)
+        for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults)
+        if default is not None
+    )
+    for param, default in pairs:
+        kind = _rng_construction_kind(ctx, default)
+        if kind is not None:
+            facts.append(
+                ParamDefaultFact(
+                    param=param,
+                    kind=kind,
+                    line=default.lineno,
+                    col=default.col_offset,
+                    snippet=ctx.snippet(default.lineno),
+                )
+            )
+    return facts
+
+
+def _class_attr_types(ctx: FileContext, node: ast.ClassDef) -> Dict[str, str]:
+    """``self.<attr>`` types inferred from constructor assignments."""
+    attr_types: Dict[str, str] = {}
+    for method in node.body:
+        if not isinstance(method, ast.FunctionDef):
+            continue
+        for stmt in ast.walk(method):
+            targets: List[ast.expr] = []
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.target is not None:
+                targets = [stmt.target]
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if isinstance(stmt, ast.AnnAssign):
+                    single, _ = _annotation_paths(ctx, stmt.annotation)
+                    if single is not None:
+                        attr_types.setdefault(target.attr, single)
+                    continue
+                inferred: Optional[str] = None
+                candidate = value
+                if isinstance(candidate, ast.IfExp):
+                    for side in (candidate.body, candidate.orelse):
+                        if isinstance(side, ast.Call):
+                            inferred = ctx.resolve(side.func)
+                            if inferred is not None:
+                                break
+                elif isinstance(candidate, ast.Call):
+                    inferred = ctx.resolve(candidate.func)
+                if inferred is not None:
+                    attr_types.setdefault(target.attr, inferred)
+    return attr_types
+
+
+def _as_config_facts(node: ast.ClassDef) -> Tuple[bool, bool, Tuple[str, ...]]:
+    """(has_as_config, covers_all_via_asdict, mentioned names)."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "as_config":
+            covers_all = False
+            names: set = set()
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    func = sub.func
+                    func_name = (
+                        func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+                    )
+                    if func_name == "asdict":
+                        covers_all = True
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    names.add(sub.value)
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                ):
+                    names.add(sub.attr)
+            return True, covers_all, tuple(sorted(names))
+    return False, False, ()
+
+
+def _class_fields(node: ast.ClassDef, ctx: FileContext) -> Dict[str, Tuple[int, int, str]]:
+    fields: Dict[str, Tuple[int, int, str]] = {}
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            fields[stmt.target.id] = (
+                stmt.lineno,
+                stmt.col_offset,
+                ctx.snippet(stmt.lineno),
+            )
+    return fields
+
+
+def extract_facts(ctx: FileContext) -> FileFacts:
+    """Extract the whole-program facts for one parsed file."""
+    is_package = ctx.path.endswith("__init__.py")
+    facts = FileFacts(path=ctx.path, module=ctx.module, is_package=is_package)
+
+    module_globals: List[str] = []
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    module_globals.append(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            module_globals.append(stmt.target.id)
+
+    def walk_body(
+        body: Sequence[ast.stmt], qual_prefix: str, cls: Optional[str]
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{qual_prefix}.{stmt.name}"
+                returns_single, returns_elems = _annotation_paths(ctx, stmt.returns)
+                fn = FunctionFacts(
+                    qualname=qualname,
+                    name=stmt.name,
+                    cls=cls,
+                    params=_param_names(stmt.args),
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    returns=(
+                        {"kind": "path", "path": returns_single}
+                        if returns_single is not None
+                        else None
+                    ),
+                    returns_elems=tuple(returns_elems),
+                )
+                if isinstance(stmt, ast.FunctionDef):
+                    fn.param_defaults = _param_default_facts(ctx, stmt)
+                extractor = _FunctionExtractor(
+                    ctx, fn, module_globals, local_names=_bound_names(stmt.body)
+                )
+                for sub in stmt.body:
+                    extractor.visit(sub)
+                facts.functions.append(fn)
+            elif isinstance(stmt, ast.ClassDef):
+                qualname = f"{qual_prefix}.{stmt.name}"
+                bases = tuple(
+                    path
+                    for path in (ctx.resolve(base) for base in stmt.bases)
+                    if path is not None
+                )
+                methods = tuple(
+                    sub.name
+                    for sub in stmt.body
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                )
+                has_as_config, covers_all, names = _as_config_facts(stmt)
+                facts.classes.append(
+                    ClassFacts(
+                        qualname=qualname,
+                        name=stmt.name,
+                        line=stmt.lineno,
+                        col=stmt.col_offset,
+                        bases=bases,
+                        methods=methods,
+                        fields=_class_fields(stmt, ctx),
+                        has_as_config=has_as_config,
+                        as_config_covers_all=covers_all,
+                        as_config_names=names,
+                        attr_types=_class_attr_types(ctx, stmt),
+                    )
+                )
+                walk_body(stmt.body, qualname, qualname)
+
+    walk_body(ctx.tree.body, ctx.module, None)
+    return facts

@@ -1,0 +1,295 @@
+"""Whole-program symbol index and conservative call graph.
+
+The :class:`ProgramIndex` is built from per-file :class:`FileFacts`
+(freshly extracted or loaded from the fact cache) and gives the
+interprocedural rules three things:
+
+* **name normalization** -- lexical paths recorded in facts may carry
+  relative-import dots (``..simulation.network.WirelessNetwork``); the
+  index rewrites them against the owning module, so rules only ever see
+  absolute dotted paths;
+* **call resolution** -- a structured target reference (dotted path,
+  ``self.<attr>`` chain, or inferred-type chain) resolves to an indexed
+  function (walking base classes for methods), an indexed class's
+  ``__init__``, or an external path.  Resolution is *conservative*: an
+  unresolvable call produces no edge, never a wrong one, which is the
+  correct failure mode for a lint gate (missed edges can hide a finding
+  but cannot invent one);
+* **taint plumbing** -- mapping a call-site argument slot to the callee's
+  parameter name, accounting for the implicit ``self`` of bound calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .facts import CallFact, ClassFacts, FileFacts, FunctionFacts
+
+__all__ = ["Resolved", "ProgramIndex"]
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """Outcome of resolving one call target.
+
+    ``qualname`` names an indexed function when the call lands inside the
+    scanned program; ``path`` is always the best-known absolute dotted
+    path (for module-prefix checks against external sinks).  ``bound`` is
+    True when the call consumes an implicit ``self``/``cls`` slot.
+    """
+
+    path: str
+    qualname: Optional[str] = None
+    bound: bool = False
+
+
+class ProgramIndex:
+    """Symbol tables plus call/taint resolution over a set of file facts."""
+
+    def __init__(self, files: Sequence[FileFacts]) -> None:
+        self.files: List[FileFacts] = list(files)
+        self.functions: Dict[str, FunctionFacts] = {}
+        self.classes: Dict[str, ClassFacts] = {}
+        #: function qualname -> path of the file that declared it.
+        self.file_of: Dict[str, str] = {}
+        self._module_of: Dict[str, Tuple[str, bool]] = {}
+        for facts in self.files:
+            for fn in facts.functions:
+                self.functions[fn.qualname] = fn
+                self.file_of[fn.qualname] = facts.path
+            for cls in facts.classes:
+                self.classes[cls.qualname] = cls
+                self.file_of[cls.qualname] = facts.path
+            self._module_of[facts.path] = (facts.module, facts.is_package)
+        #: Normalization happens per owning module; cache per (module, path).
+        self._norm_cache: Dict[Tuple[str, bool, str], Optional[str]] = {}
+
+    # -- modules and names -----------------------------------------------------
+
+    def module_for(self, fn: FunctionFacts) -> Tuple[str, bool]:
+        """(module, is_package) of the file declaring ``fn``."""
+        return self._module_of[self.file_of[fn.qualname]]
+
+    def normalize(self, path: Optional[str], module: str, is_package: bool) -> Optional[str]:
+        """Rewrite a lexically resolved path against its owning module.
+
+        Relative-import paths (``..capacity.rates.rate_by_mbps`` recorded
+        in ``repro.scenarios.spec``) become absolute; already-absolute
+        paths pass through.  Returns ``None`` when the dots escape the
+        package root.
+        """
+        if path is None:
+            return None
+        key = (module, is_package, path)
+        if key in self._norm_cache:
+            return self._norm_cache[key]
+        result: Optional[str] = path
+        if path.startswith("."):
+            level = len(path) - len(path.lstrip("."))
+            rest = path[level:]
+            base = module.split(".")
+            if not is_package:
+                base = base[:-1]
+            for _ in range(level - 1):
+                if not base:
+                    break
+                base = base[:-1]
+            if not base:
+                result = None
+            else:
+                result = ".".join(base + [rest]) if rest else ".".join(base)
+        self._norm_cache[key] = result
+        return result
+
+    # -- class machinery -------------------------------------------------------
+
+    def mro(self, class_qualname: str) -> List[ClassFacts]:
+        """Indexed classes in method-resolution order (DFS, cycle-safe)."""
+        ordered: List[ClassFacts] = []
+        seen: Dict[str, bool] = {}
+        stack = [class_qualname]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen[qual] = True
+            cls = self.classes.get(qual)
+            if cls is None:
+                continue
+            ordered.append(cls)
+            module, is_package = self._module_of[self.file_of[qual]]
+            for base in cls.bases:
+                normalized = self.normalize(base, module, is_package)
+                if normalized is not None:
+                    stack.append(normalized)
+        return ordered
+
+    def find_method(self, class_qualname: str, method: str) -> Optional[FunctionFacts]:
+        """The indexed implementation of ``method`` on a class (MRO walk)."""
+        for cls in self.mro(class_qualname):
+            candidate = self.functions.get(f"{cls.qualname}.{method}")
+            if candidate is not None:
+                return candidate
+        return None
+
+    def attr_type(self, class_qualname: str, attr: str) -> Optional[str]:
+        """The inferred type path of an instance attribute (MRO walk)."""
+        for cls in self.mro(class_qualname):
+            module, is_package = self._module_of[self.file_of[cls.qualname]]
+            raw = cls.attr_types.get(attr)
+            if raw is not None:
+                return self.normalize(raw, module, is_package)
+        return None
+
+    # -- type references -------------------------------------------------------
+
+    def resolve_type(
+        self, type_ref: Optional[Dict[str, Any]], module: str, is_package: bool
+    ) -> Optional[str]:
+        """A :data:`TypeRef` -> the class qualname it denotes, if indexed."""
+        if type_ref is None:
+            return None
+        kind = type_ref.get("kind")
+        if kind == "path":
+            normalized = self.normalize(type_ref.get("path"), module, is_package)
+            if normalized is None:
+                return None
+            if normalized in self.classes:
+                return normalized
+            return None
+        if kind == "call":
+            resolved = self._resolve_in(type_ref.get("target"), module, is_package, cls_hint=None)
+            if resolved is None or resolved.qualname is None:
+                return None
+            callee = self.functions[resolved.qualname]
+            callee_module, callee_pkg = self.module_for(callee)
+            elem = type_ref.get("elem")
+            if elem is None:
+                returns = callee.returns
+                if returns is None:
+                    # ``x = ClassName(...)`` resolved through a class init.
+                    init_owner = resolved.path
+                    if init_owner in self.classes:
+                        return init_owner
+                    return None
+                return self.resolve_type(returns, callee_module, callee_pkg)
+            if 0 <= int(elem) < len(callee.returns_elems):
+                elem_path = callee.returns_elems[int(elem)]
+                normalized = self.normalize(elem_path, callee_module, callee_pkg)
+                if normalized is not None and normalized in self.classes:
+                    return normalized
+            return None
+        return None
+
+    # -- call resolution -------------------------------------------------------
+
+    def resolve_call(self, caller: FunctionFacts, call: CallFact) -> Optional[Resolved]:
+        """Resolve one call site recorded in ``caller``'s facts."""
+        module, is_package = self.module_for(caller)
+        return self._resolve_in(call.target, module, is_package, cls_hint=caller.cls)
+
+    def _resolve_in(
+        self,
+        target: Optional[Dict[str, Any]],
+        module: str,
+        is_package: bool,
+        cls_hint: Optional[str],
+    ) -> Optional[Resolved]:
+        if target is None:
+            return None
+        kind = target.get("kind")
+        if kind == "path":
+            normalized = self.normalize(target.get("path"), module, is_package)
+            if normalized is None:
+                return None
+            return self._resolve_path(normalized, module)
+        if kind == "self":
+            cls = target.get("cls") or cls_hint
+            if cls is None:
+                return None
+            chain = list(target.get("chain", ()))
+            return self._resolve_on_class(str(cls), chain)
+        if kind == "typed":
+            base = self.resolve_type(target.get("base"), module, is_package)
+            if base is None:
+                return None
+            chain = list(target.get("chain", ()))
+            return self._resolve_on_class(base, chain)
+        return None
+
+    def _resolve_on_class(self, class_qualname: str, chain: List[str]) -> Optional[Resolved]:
+        """Resolve ``<instance of class>.a[.b]()`` chains (length 1 or 2)."""
+        if not chain:
+            return None
+        if len(chain) == 1:
+            method = self.find_method(class_qualname, chain[0])
+            if method is not None:
+                return Resolved(
+                    path=method.qualname, qualname=method.qualname, bound=True
+                )
+            # Unindexed method on an indexed class: keep the path for
+            # module-prefix checks (the class's module is the sink module).
+            return Resolved(path=f"{class_qualname}.{chain[0]}", bound=True)
+        if len(chain) == 2:
+            attr_cls = self.attr_type(class_qualname, chain[0])
+            if attr_cls is not None and attr_cls in self.classes:
+                return self._resolve_on_class(attr_cls, chain[1:])
+        return None
+
+    def _resolve_path(self, path: str, module: str) -> Optional[Resolved]:
+        # A module-local bare name resolves inside its own module first.
+        if "." not in path:
+            local = f"{module}.{path}"
+            if local in self.functions:
+                return Resolved(path=local, qualname=local, bound=False)
+            if local in self.classes:
+                return self._class_init(local)
+            return Resolved(path=path, bound=False)
+        if path in self.functions:
+            return Resolved(path=path, qualname=path, bound=False)
+        if path in self.classes:
+            return self._class_init(path)
+        head, _, last = path.rpartition(".")
+        if head in self.classes:
+            method = self.find_method(head, last)
+            if method is not None:
+                # ``SomeClass.method(obj, ...)`` style: no implicit self.
+                return Resolved(path=method.qualname, qualname=method.qualname, bound=False)
+            return Resolved(path=path, bound=False)
+        return Resolved(path=path, bound=False)
+
+    def _class_init(self, class_qualname: str) -> Resolved:
+        init = self.find_method(class_qualname, "__init__")
+        if init is not None:
+            return Resolved(path=class_qualname, qualname=init.qualname, bound=True)
+        return Resolved(path=class_qualname, bound=True)
+
+    # -- taint plumbing --------------------------------------------------------
+
+    def param_for_slot(
+        self, callee: FunctionFacts, slot: Union[int, str], bound: bool
+    ) -> Optional[str]:
+        """The callee parameter a call-site argument slot binds to."""
+        if isinstance(slot, str):
+            return slot if slot in callee.params else None
+        offset = 0
+        if bound and callee.params and callee.params[0] in ("self", "cls"):
+            offset = 1
+        index = int(slot) + offset
+        if 0 <= index < len(callee.params):
+            return callee.params[index]
+        return None
+
+    # -- iteration helpers -----------------------------------------------------
+
+    def iter_functions(self) -> Iterable[FunctionFacts]:
+        for qualname in sorted(self.functions):
+            yield self.functions[qualname]
+
+    def classes_named(self, name: str) -> List[ClassFacts]:
+        return [
+            self.classes[qual]
+            for qual in sorted(self.classes)
+            if self.classes[qual].name == name
+        ]

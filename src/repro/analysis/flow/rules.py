@@ -1,0 +1,462 @@
+"""The interprocedural (flow) rule set.
+
+Each rule sees the whole program at once -- a :class:`ProgramIndex` over
+every scanned file's facts -- and reports findings whose messages carry a
+*witness chain*: the concrete call path demonstrating the violation
+(``Scenario.run -> build_network -> helper -> time.time``).  Fingerprints
+hash only (rule, path, source line), so witness chains can be as
+descriptive as they like without destabilising the committed baseline.
+
+Rules
+-----
+``seed-provenance``
+    Taint-tracks RNG values (``Generator`` / ``SeedSequence``) from their
+    construction sites through assignments and call edges.  Any RNG whose
+    provenance is OS entropy (a zero-argument construction) that reaches
+    simulation, networking, or runner code -- directly or through any
+    chain of parameter-passing helpers -- is a finding.  Seeded forms
+    (``SeedSequence(args...)``, ``default_rng(seed)``, crc32-of-identity
+    seeds) pass freely.
+
+``determinism-reachability``
+    Computes the closure of functions reachable from ``Scenario.run`` /
+    ``Simulator.run`` over the conservative call graph and flags every
+    path to wall-clock reads (``time.*``, ``datetime.now``), ambient state
+    (``os.environ``, ``os.getenv``, ``os.urandom``, ``uuid.uuid1/4``), or
+    module-global mutation.  This upgrades the syntactic ``no-wall-clock``
+    rule from two hard-coded package scopes to whatever the entry points
+    actually reach (the syntactic rule stays on as a backstop for
+    event-scheduled callbacks the call graph cannot see).
+
+``cache-key-soundness``
+    Upgrades ``cache-key-stability`` from "field name mentioned in
+    ``as_config``" to a read-set analysis: every dataclass field of a spec
+    class that is *read* during ``build_network`` / ``run`` -- including
+    reads inside methods they call on ``self`` and inside helpers the
+    instance is passed to (topology builders, traffic factories) -- must
+    be covered by ``as_config``, or two scenarios differing only in that
+    field would collide in the sha256 result cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..engine import Rule
+from ..findings import Finding
+from .facts import AttrReadFact, CallFact, FunctionFacts, TaintedArg
+from .index import ProgramIndex, Resolved
+
+__all__ = [
+    "FlowRule",
+    "SeedProvenanceRule",
+    "DeterminismReachabilityRule",
+    "CacheKeySoundnessRule",
+    "FLOW_RULE_CLASSES",
+    "default_flow_rules",
+]
+
+#: Packages whose code must only ever receive seeded RNG values.
+PROTECTED_PREFIXES = ("repro.simulation", "repro.networking", "repro.runner")
+
+
+def _short(qualname: str) -> str:
+    """Human-readable tail of a dotted name (``Class.method`` / ``mod.fn``)."""
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) >= 2 else qualname
+
+
+def _render_chain(chain: Sequence[str]) -> str:
+    return " -> ".join(_short(link) for link in chain)
+
+
+class FlowRule(Rule):
+    """Base class for whole-program rules.
+
+    Subclasses implement :meth:`check_program` over a built
+    :class:`ProgramIndex`; per-file hooks are unused.  ``scopes`` filters
+    which files' *findings* are reported (facts are always program-wide).
+    """
+
+    def check_program(self, index: ProgramIndex) -> Iterable[Finding]:
+        return ()
+
+    def flow_finding(
+        self, path: str, line: int, col: int, message: str, snippet: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name, path=path, line=line, col=col, message=message, snippet=snippet
+        )
+
+
+def _is_protected(path: str) -> bool:
+    return any(
+        path == prefix or path.startswith(prefix + ".") for prefix in PROTECTED_PREFIXES
+    )
+
+
+class SeedProvenanceRule(FlowRule):
+    name = "seed-provenance"
+    description = (
+        "Taint-track Generator/SeedSequence values from construction to use: "
+        "an RNG built from OS entropy must never reach repro.simulation/"
+        "networking/runner code, directly or through helper parameters."
+    )
+    scopes = ("repro",)
+
+    def check_program(self, index: ProgramIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        reaches = self._reaches_cache(index)
+        for fn in index.iter_functions():
+            path = index.file_of[fn.qualname]
+            for call in fn.calls:
+                resolved = index.resolve_call(fn, call)
+                if resolved is None:
+                    continue
+                for arg in call.tainted_args:
+                    if arg.kind != "unseeded":
+                        continue
+                    witness = self._sink_witness(index, fn, call, resolved, arg)
+                    if witness is None:
+                        continue
+                    findings.append(
+                        self.flow_finding(
+                            path,
+                            arg.line or call.line,
+                            arg.col if arg.line else call.col,
+                            (
+                                "RNG constructed from OS entropy reaches "
+                                f"{_short(witness[-1])}; derive it from the scenario "
+                                "seed or a SeedSequence instead "
+                                f"(witness: {_render_chain(witness)})"
+                            ),
+                            arg.snippet or call.snippet,
+                        )
+                    )
+            for default in fn.param_defaults:
+                if default.kind != "unseeded":
+                    continue
+                witness = self._param_witness(index, fn, default.param, reaches)
+                if witness is None:
+                    continue
+                findings.append(
+                    self.flow_finding(
+                        path,
+                        default.line,
+                        default.col,
+                        (
+                            f"parameter {default.param!r} defaults to an OS-entropy "
+                            f"RNG that reaches {_short(witness[-1])}; default to None "
+                            "and require an explicitly seeded stream "
+                            f"(witness: {_render_chain(witness)})"
+                        ),
+                        default.snippet,
+                    )
+                )
+        return findings
+
+    # -- closure of rng-carrying parameters ------------------------------------
+
+    def _protected_param_closure(
+        self, index: ProgramIndex
+    ) -> Dict[Tuple[str, str], List[str]]:
+        """(function qualname, param) -> witness chain to protected code.
+
+        A parameter is in the closure when a value bound to it is passed --
+        possibly through further parameter-to-parameter hops -- into a call
+        whose target lives in a protected package.
+        """
+        reaches: Dict[Tuple[str, str], List[str]] = {}
+        #: (callee qualname, callee param) -> callers feeding it:
+        #: list of (caller qualname, caller param, call line).
+        feeders: Dict[Tuple[str, str], List[Tuple[str, str]]] = {}
+        worklist: List[Tuple[str, str]] = []
+        for fn in index.iter_functions():
+            for call in fn.calls:
+                resolved = index.resolve_call(fn, call)
+                if resolved is None:
+                    continue
+                for arg in call.tainted_args:
+                    if arg.kind != "param":
+                        continue
+                    key = (fn.qualname, arg.param)
+                    if _is_protected(resolved.path):
+                        if key not in reaches:
+                            reaches[key] = [fn.qualname, resolved.path]
+                            worklist.append(key)
+                        continue
+                    if resolved.qualname is None:
+                        continue
+                    callee = index.functions[resolved.qualname]
+                    callee_param = index.param_for_slot(callee, arg.slot, resolved.bound)
+                    if callee_param is None:
+                        continue
+                    feeders.setdefault((resolved.qualname, callee_param), []).append(key)
+        # Seed the worklist with anything already protected, then propagate
+        # backwards through the feeder edges until fixpoint.
+        pending = list(worklist)
+        while pending:
+            target = pending.pop()
+            for feeder in feeders.get(target, ()):  # caller (fn, param) pairs
+                if feeder in reaches:
+                    continue
+                reaches[feeder] = [feeder[0]] + reaches[target]
+                pending.append(feeder)
+        return reaches
+
+    def _sink_witness(
+        self,
+        index: ProgramIndex,
+        fn: FunctionFacts,
+        call: CallFact,
+        resolved: Resolved,
+        arg: TaintedArg,
+    ) -> Optional[List[str]]:
+        """Witness chain when an unseeded value at this call reaches a sink."""
+        if _is_protected(resolved.path):
+            return [fn.qualname, resolved.path]
+        if resolved.qualname is None:
+            return None
+        callee = index.functions[resolved.qualname]
+        callee_param = index.param_for_slot(callee, arg.slot, resolved.bound)
+        if callee_param is None:
+            return None
+        reaches = self._reaches_cache(index)
+        chain = reaches.get((resolved.qualname, callee_param))
+        if chain is None:
+            return None
+        return [fn.qualname] + chain
+
+    def _param_witness(
+        self,
+        index: ProgramIndex,
+        fn: FunctionFacts,
+        param: str,
+        reaches: Dict[Tuple[str, str], List[str]],
+    ) -> Optional[List[str]]:
+        """Witness when a function's own rng parameter reaches a sink.
+
+        Fires for unseeded parameter *defaults*: the default is used
+        precisely when no caller supplies a seeded stream.  A function
+        living inside a protected package is its own sink.
+        """
+        module, _ = index.module_for(fn)
+        if _is_protected(module):
+            return [fn.qualname]
+        return reaches.get((fn.qualname, param))
+
+    def _reaches_cache(self, index: ProgramIndex) -> Dict[Tuple[str, str], List[str]]:
+        cached = getattr(self, "_reaches", None)
+        if cached is None:
+            cached = self._protected_param_closure(index)
+            self._reaches = cached
+        return cached
+
+    _reaches: Optional[Dict[Tuple[str, str], List[str]]] = None
+
+
+class DeterminismReachabilityRule(FlowRule):
+    name = "determinism-reachability"
+    description = (
+        "Nothing reachable from Scenario.run / Simulator.run may read wall "
+        "clocks, ambient state (os.environ/os.urandom), or mutate module "
+        "globals; reported with the call path that reaches the violation."
+    )
+    scopes = ("repro",)
+
+    #: (class name, method) pairs treated as determinism roots.
+    ENTRY_POINTS = (("Scenario", "run"), ("Simulator", "run"))
+
+    def check_program(self, index: ProgramIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        parents: Dict[str, Tuple[Optional[str], str]] = {}
+        order: List[str] = []
+        for cls_name, method in self.ENTRY_POINTS:
+            for cls in index.classes_named(cls_name):
+                fn = index.find_method(cls.qualname, method)
+                if fn is not None and fn.qualname not in parents:
+                    parents[fn.qualname] = (None, fn.qualname)
+                    order.append(fn.qualname)
+        cursor = 0
+        while cursor < len(order):
+            qualname = order[cursor]
+            cursor += 1
+            fn = index.functions[qualname]
+            for call in fn.calls:
+                resolved = index.resolve_call(fn, call)
+                if resolved is None or resolved.qualname is None:
+                    continue
+                if resolved.qualname not in parents:
+                    parents[resolved.qualname] = (qualname, parents[qualname][1])
+                    order.append(resolved.qualname)
+        for qualname in order:
+            fn = index.functions[qualname]
+            path = index.file_of[qualname]
+            chain = self._chain(parents, qualname)
+            for impure in fn.impure:
+                findings.append(
+                    self.flow_finding(
+                        path,
+                        impure.line,
+                        impure.col,
+                        (
+                            f"{impure.what} is reachable from "
+                            f"{_short(parents[qualname][1])} -- simulation results "
+                            "must not depend on the host machine "
+                            f"(witness: {_render_chain(chain)} -> {impure.what})"
+                        ),
+                        impure.snippet,
+                    )
+                )
+            for write in fn.global_writes:
+                findings.append(
+                    self.flow_finding(
+                        path,
+                        write.line,
+                        write.col,
+                        (
+                            f"module-global {write.name!r} is mutated on a path "
+                            f"reachable from {_short(parents[qualname][1])} -- runs "
+                            "would observe each other's state "
+                            f"(witness: {_render_chain(chain)} -> {write.name})"
+                        ),
+                        write.snippet,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _chain(parents: Dict[str, Tuple[Optional[str], str]], qualname: str) -> List[str]:
+        chain: List[str] = []
+        current: Optional[str] = qualname
+        while current is not None:
+            chain.append(current)
+            current = parents[current][0]
+        chain.reverse()
+        return chain
+
+
+class CacheKeySoundnessRule(FlowRule):
+    name = "cache-key-soundness"
+    description = (
+        "Every spec-class dataclass field read during build_network/run "
+        "(including via self-method calls and helpers the instance is "
+        "passed to) must be covered by as_config(), or result-cache keys "
+        "under-determine the run."
+    )
+    scopes = ("repro",)
+
+    #: Methods whose read sets determine a run's outcome.
+    ENTRY_METHODS = ("build_network", "run")
+
+    def check_program(self, index: ProgramIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for qual in sorted(index.classes):
+            cls = index.classes[qual]
+            if not cls.has_as_config or not cls.fields:
+                continue
+            covered: Optional[Set[str]] = None
+            if not cls.as_config_covers_all:
+                covered = set(cls.as_config_names)
+            if covered is None:
+                continue  # asdict(self): every field participates
+            findings.extend(self._check_class(index, qual, covered))
+        return findings
+
+    def _check_class(
+        self, index: ProgramIndex, class_qualname: str, covered: Set[str]
+    ) -> List[Finding]:
+        cls = index.classes[class_qualname]
+        fields = cls.fields
+        #: (function qualname, param binding the instance) worklist, with a
+        #: witness chain per binding.
+        bound: Dict[Tuple[str, str], List[str]] = {}
+        pending: List[Tuple[str, str]] = []
+        for method_name in self.ENTRY_METHODS:
+            fn = index.find_method(class_qualname, method_name)
+            if fn is not None and fn.params and fn.params[0] == "self":
+                key = (fn.qualname, "self")
+                if key not in bound:
+                    bound[key] = [fn.qualname]
+                    pending.append(key)
+        findings: List[Finding] = []
+        reported: Set[Tuple[str, int, str]] = set()
+        while pending:
+            qualname, param = pending.pop()
+            fn = index.functions[qualname]
+            chain = bound[(qualname, param)]
+            for read in fn.attr_reads:
+                if read.base != param or read.attr not in fields:
+                    continue
+                if read.attr in covered:
+                    continue
+                if read.attr in cls.methods:
+                    continue
+                site = (index.file_of[qualname], read.line, read.attr)
+                if site in reported:
+                    continue
+                reported.add(site)
+                findings.append(
+                    self.flow_finding(
+                        index.file_of[qualname],
+                        read.line,
+                        read.col,
+                        (
+                            f"{cls.name} field {read.attr!r} is read here but not "
+                            f"covered by {cls.name}.as_config() -- two scenarios "
+                            "differing only in this field share a cache key "
+                            f"(witness: {_render_chain(chain)})"
+                        ),
+                        read.snippet,
+                    )
+                )
+            for call in fn.calls:
+                resolved = index.resolve_call(fn, call)
+                if resolved is None or resolved.qualname is None:
+                    continue
+                callee = index.functions[resolved.qualname]
+                # self-method calls keep the binding through the implicit slot.
+                if (
+                    resolved.bound
+                    and call.target.get("kind") == "self"
+                    and param == "self"
+                    and callee.params
+                    and callee.params[0] == "self"
+                    and callee.cls is not None
+                    and self._same_lineage(index, class_qualname, callee.cls)
+                ):
+                    key = (callee.qualname, "self")
+                    if key not in bound:
+                        bound[key] = chain + [callee.qualname]
+                        pending.append(key)
+                # explicit instance passing: f(self, ...) / f(spec, ...).
+                for arg in call.tainted_args:
+                    if arg.kind != "param" or arg.param != param:
+                        continue
+                    callee_param = index.param_for_slot(callee, arg.slot, resolved.bound)
+                    if callee_param is None:
+                        continue
+                    key = (callee.qualname, callee_param)
+                    if key not in bound:
+                        bound[key] = chain + [callee.qualname]
+                        pending.append(key)
+        return findings
+
+    @staticmethod
+    def _same_lineage(index: ProgramIndex, class_qualname: str, other: str) -> bool:
+        if class_qualname == other:
+            return True
+        return any(cls.qualname == other for cls in index.mro(class_qualname))
+
+
+#: Every flow rule, in reporting-precedence order.
+FLOW_RULE_CLASSES: Tuple[type, ...] = (
+    SeedProvenanceRule,
+    DeterminismReachabilityRule,
+    CacheKeySoundnessRule,
+)
+
+
+def default_flow_rules() -> List[FlowRule]:
+    """Fresh instances of the interprocedural rule set (one per run)."""
+    return [SeedProvenanceRule(), DeterminismReachabilityRule(), CacheKeySoundnessRule()]

@@ -1,0 +1,565 @@
+"""The interprocedural (flow) layer: rules, fact cache, SARIF, exit codes.
+
+Every rule gets a firing + non-firing fixture pair, because a
+whole-program analysis has two failure modes: missing a real violation
+(the non-firing fixture's seeded/covered twin guards the detection logic)
+and inventing one (the non-firing fixture guards conservatism).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    Baseline,
+    FactCache,
+    check_sources,
+    default_flow_rules,
+    default_rules,
+    render_sarif,
+    run_checks,
+)
+from repro.analysis.__main__ import main as simlint_main
+from repro.analysis.context import FileContext
+from repro.analysis.flow import ProgramIndex, extract_facts, fact_key
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def _flow(sources):
+    return check_sources(sources, flow_rules=default_flow_rules())
+
+
+def _rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# -- seed-provenance ----------------------------------------------------------
+
+
+def test_seed_provenance_fires_through_helper_call():
+    """Unseeded rng -> helper(rng) -> repro.simulation sink: one finding."""
+    findings = _flow(
+        {
+            "repro/simulation/__init__.py": "",
+            "repro/simulation/engine.py": "def run_sim(rng):\n    return rng.random()\n",
+            "repro/launch.py": (
+                "import numpy as np\n"
+                "from repro.simulation.engine import run_sim\n"
+                "def helper(rng):\n"
+                "    return run_sim(rng)\n"
+                "def main():\n"
+                "    rng = np.random.default_rng()\n"
+                "    return helper(rng)\n"
+            ),
+        }
+    )
+    hits = [f for f in findings if f.rule == "seed-provenance"]
+    assert len(hits) == 1
+    assert hits[0].path == "repro/launch.py"
+    # The finding anchors at the construction site, not the sink.
+    assert "default_rng()" in hits[0].snippet
+    # The witness chain names the hop and the sink.
+    assert "helper" in hits[0].message and "run_sim" in hits[0].message
+
+
+def test_seed_provenance_quiet_for_seeded_stream():
+    """The same call shape with a seeded construction is clean."""
+    findings = _flow(
+        {
+            "repro/simulation/__init__.py": "",
+            "repro/simulation/engine.py": "def run_sim(rng):\n    return rng.random()\n",
+            "repro/launch.py": (
+                "import numpy as np\n"
+                "from repro.simulation.engine import run_sim\n"
+                "def helper(rng):\n"
+                "    return run_sim(rng)\n"
+                "def main(seed):\n"
+                "    rng = np.random.default_rng(seed)\n"
+                "    return helper(rng)\n"
+            ),
+        }
+    )
+    assert "seed-provenance" not in _rules_of(findings)
+
+
+def test_seed_provenance_fires_on_unseeded_parameter_default():
+    """def f(rng=default_rng()) that feeds protected code is a finding."""
+    findings = _flow(
+        {
+            "repro/runner/__init__.py": "",
+            "repro/runner/pool.py": "def dispatch(rng):\n    return rng.random()\n",
+            "repro/driver.py": (
+                "import numpy as np\n"
+                "from repro.runner.pool import dispatch\n"
+                "def launch(rng=np.random.default_rng()):\n"
+                "    return dispatch(rng)\n"
+            ),
+        }
+    )
+    hits = [f for f in findings if f.rule == "seed-provenance"]
+    assert len(hits) == 1
+    assert "defaults to an OS-entropy" in hits[0].message
+    assert "dispatch" in hits[0].message
+
+
+def test_seed_provenance_quiet_for_none_default_and_seeded_default():
+    findings = _flow(
+        {
+            "repro/runner/__init__.py": "",
+            "repro/runner/pool.py": "def dispatch(rng):\n    return rng.random()\n",
+            "repro/driver.py": (
+                "import numpy as np\n"
+                "def launch(rng=None, alt=np.random.default_rng(1234)):\n"
+                "    from repro.runner.pool import dispatch\n"
+                "    return dispatch(rng)\n"
+            ),
+        }
+    )
+    assert "seed-provenance" not in _rules_of(findings)
+
+
+def test_seed_provenance_function_in_protected_package_is_its_own_sink():
+    findings = _flow(
+        {
+            "repro/networking/__init__.py": "",
+            "repro/networking/jitter.py": (
+                "import numpy as np\n"
+                "def perturb(values, rng=np.random.default_rng()):\n"
+                "    return values + rng.normal()\n"
+            ),
+        }
+    )
+    hits = [f for f in findings if f.rule == "seed-provenance"]
+    assert len(hits) == 1
+    assert hits[0].path == "repro/networking/jitter.py"
+
+
+# -- determinism-reachability -------------------------------------------------
+
+
+def test_reachability_fires_via_two_hop_chain():
+    findings = _flow(
+        {
+            "repro/sim.py": (
+                "import time\n"
+                "class Simulator:\n"
+                "    def run(self):\n"
+                "        return helper()\n"
+                "def helper():\n"
+                "    return stamp()\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+        }
+    )
+    hits = [f for f in findings if f.rule == "determinism-reachability"]
+    assert len(hits) == 1
+    assert "time.time" in hits[0].message
+    # Witness spells out the full two-hop path.
+    assert "Simulator.run" in hits[0].message
+    assert "helper" in hits[0].message and "stamp" in hits[0].message
+
+
+def test_reachability_quiet_for_unreachable_impurity():
+    """The same wall-clock read is fine when no entry point reaches it."""
+    findings = _flow(
+        {
+            "repro/sim.py": (
+                "import time\n"
+                "class Simulator:\n"
+                "    def run(self):\n"
+                "        return 0\n"
+                "def bench_only():\n"
+                "    return time.time()\n"
+            ),
+        }
+    )
+    assert "determinism-reachability" not in _rules_of(findings)
+
+
+def test_reachability_fires_on_module_global_mutation():
+    findings = _flow(
+        {
+            "repro/sim.py": (
+                "_CACHE = {}\n"
+                "class Scenario:\n"
+                "    def run(self):\n"
+                "        return remember(1)\n"
+                "def remember(key):\n"
+                "    _CACHE[key] = key\n"
+                "    return _CACHE[key]\n"
+            ),
+        }
+    )
+    hits = [f for f in findings if f.rule == "determinism-reachability"]
+    assert len(hits) == 1
+    assert "_CACHE" in hits[0].message
+
+
+def test_reachability_quiet_for_shadowing_local():
+    """d[k] = v on a local that shadows a module global is not a mutation."""
+    findings = _flow(
+        {
+            "repro/sim.py": (
+                "_CACHE = {}\n"
+                "class Scenario:\n"
+                "    def run(self):\n"
+                "        return remember(1)\n"
+                "def remember(key):\n"
+                "    _CACHE = {}\n"
+                "    _CACHE[key] = key\n"
+                "    return _CACHE[key]\n"
+            ),
+        }
+    )
+    assert "determinism-reachability" not in _rules_of(findings)
+
+
+# -- cache-key-soundness ------------------------------------------------------
+
+
+_SPEC_FIXTURE = (
+    "class Scenario:\n"
+    "    n_nodes: int\n"
+    "    secret_knob: float\n"
+    "    def as_config(self):\n"
+    "        return {{'n_nodes': self.n_nodes}}\n"
+    "    def build_network(self):\n"
+    "        return build_topology(self)\n"
+    "def build_topology(spec):\n"
+    "    return [0.0] * int(spec.{field})\n"
+)
+
+
+def test_cache_key_fires_on_field_read_in_topology_builder():
+    findings = _flow({"repro/spec.py": _SPEC_FIXTURE.format(field="secret_knob")})
+    hits = [f for f in findings if f.rule == "cache-key-soundness"]
+    assert len(hits) == 1
+    assert "'secret_knob'" in hits[0].message
+    assert "build_topology" in hits[0].message
+    # Anchored at the read inside the helper, not at the class.
+    assert hits[0].snippet == "return [0.0] * int(spec.secret_knob)"
+
+
+def test_cache_key_quiet_when_read_field_is_covered():
+    findings = _flow({"repro/spec.py": _SPEC_FIXTURE.format(field="n_nodes")})
+    assert "cache-key-soundness" not in _rules_of(findings)
+
+
+def test_cache_key_quiet_when_as_config_uses_asdict():
+    findings = _flow(
+        {
+            "repro/spec.py": (
+                "from dataclasses import asdict\n"
+                "class Scenario:\n"
+                "    secret_knob: float\n"
+                "    def as_config(self):\n"
+                "        return asdict(self)\n"
+                "    def run(self):\n"
+                "        return self.secret_knob\n"
+            ),
+        }
+    )
+    assert "cache-key-soundness" not in _rules_of(findings)
+
+
+def test_cache_key_follows_self_method_calls():
+    findings = _flow(
+        {
+            "repro/spec.py": (
+                "class Scenario:\n"
+                "    hidden: int\n"
+                "    def as_config(self):\n"
+                "        return {}\n"
+                "    def run(self):\n"
+                "        return self._inner()\n"
+                "    def _inner(self):\n"
+                "        return self.hidden\n"
+            ),
+        }
+    )
+    hits = [f for f in findings if f.rule == "cache-key-soundness"]
+    assert len(hits) == 1
+    assert "'hidden'" in hits[0].message
+
+
+# -- engine integration -------------------------------------------------------
+
+
+def test_flow_findings_respect_suppressions():
+    findings = _flow(
+        {
+            "repro/sim.py": (
+                "import time\n"
+                "class Simulator:\n"
+                "    def run(self):\n"
+                "        return time.time()  # simlint: disable=determinism-reachability\n"
+            ),
+        }
+    )
+    assert "determinism-reachability" not in _rules_of(findings)
+
+
+def test_flow_rule_names_are_registered_and_distinct():
+    syntactic = {rule.name for rule in default_rules()}
+    flow = {rule.name for rule in default_flow_rules()}
+    assert flow == {
+        "seed-provenance",
+        "determinism-reachability",
+        "cache-key-soundness",
+    }
+    assert not (syntactic & flow)
+
+
+def test_shipped_tree_is_flow_clean():
+    """The acceptance gate: interprocedural rules pass on src/repro."""
+    run = run_checks(
+        PACKAGE_ROOT, default_rules(), flow_rules=default_flow_rules()
+    )
+    flow_names = {rule.name for rule in default_flow_rules()}
+    flow_findings = [f for f in run.findings if f.rule in flow_names]
+    baseline = Baseline.load(REPO_ROOT / "simlint_baseline.json")
+    grandfathered = {e["fingerprint"] for e in baseline.entries}
+    new = [f for f in flow_findings if f.fingerprint not in grandfathered]
+    rendered = "\n".join(f.render() for f in new)
+    assert not new, f"flow rules found new violations:\n{rendered}"
+
+
+def test_shipped_tree_reachability_closure_is_nontrivial():
+    """Guard against the call graph silently going inert: the closure from
+    Scenario.run/Simulator.run must keep spanning simulation + networking."""
+    facts = []
+    for file_path in sorted(PACKAGE_ROOT.rglob("*.py")):
+        rel = "repro/" + file_path.relative_to(PACKAGE_ROOT).as_posix()
+        module = rel[: -len(".py")].replace("/", ".")
+        if module.endswith(".__init__"):
+            module = module[: -len(".__init__")]
+        ctx = FileContext(rel, module, file_path.read_text(encoding="utf-8"))
+        facts.append(extract_facts(ctx))
+    index = ProgramIndex(facts)
+    reachable = set()
+    frontier = []
+    for name in ("Scenario", "Simulator"):
+        for cls in index.classes_named(name):
+            fn = index.find_method(cls.qualname, "run")
+            if fn is not None and fn.qualname not in reachable:
+                reachable.add(fn.qualname)
+                frontier.append(fn.qualname)
+    while frontier:
+        fn = index.functions[frontier.pop()]
+        for call in fn.calls:
+            resolved = index.resolve_call(fn, call)
+            if resolved is None or resolved.qualname is None:
+                continue
+            if resolved.qualname not in reachable:
+                reachable.add(resolved.qualname)
+                frontier.append(resolved.qualname)
+    assert "repro.scenarios.spec.Scenario.run" in reachable
+    assert "repro.simulation.engine.Simulator.run" in reachable
+    assert any(q.startswith("repro.simulation.network.") for q in reachable)
+    assert any(q.startswith("repro.networking.") for q in reachable)
+    assert len(reachable) >= 15
+
+
+# -- incremental fact cache ---------------------------------------------------
+
+
+def test_fact_cache_hit_and_invalidation_round_trip(tmp_path):
+    cache_path = tmp_path / "facts.json"
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text("def f():\n    return 1\n")
+
+    cache = FactCache(cache_path)
+    run = run_checks(pkg, [], flow_rules=default_flow_rules(), fact_cache=cache)
+    assert run.fact_cache_hits == 0
+    assert run.fact_cache_misses == 1
+    assert cache_path.is_file()
+
+    # Second run over unchanged sources: pure hits, identical findings.
+    warm = FactCache(cache_path)
+    run2 = run_checks(pkg, [], flow_rules=default_flow_rules(), fact_cache=warm)
+    assert run2.fact_cache_hits == 1
+    assert run2.fact_cache_misses == 0
+    assert [f.as_dict() for f in run2.findings] == [f.as_dict() for f in run.findings]
+
+    # Editing the file invalidates exactly its entry.
+    (pkg / "mod.py").write_text("def f():\n    return 2\n")
+    edited = FactCache(cache_path)
+    run3 = run_checks(pkg, [], flow_rules=default_flow_rules(), fact_cache=edited)
+    assert run3.fact_cache_hits == 0
+    assert run3.fact_cache_misses == 1
+
+
+def test_fact_cache_key_binds_source_and_version():
+    assert fact_key("a") != fact_key("b")
+    assert fact_key("a") == fact_key("a")
+
+
+def test_fact_cache_ignores_corrupt_store(tmp_path):
+    cache_path = tmp_path / "facts.json"
+    cache_path.write_text("{not json")
+    cache = FactCache(cache_path)
+    assert cache.get("repro/mod.py", "def f():\n    return 1\n") is None
+
+
+def test_cached_and_fresh_facts_produce_identical_findings(tmp_path):
+    """A fact cache may change latency, never results."""
+    cache_path = tmp_path / "facts.json"
+    pkg = tmp_path / "repro"
+    (pkg / "simulation").mkdir(parents=True)
+    (pkg / "simulation" / "__init__.py").write_text("")
+    (pkg / "simulation" / "engine.py").write_text(
+        "def run_sim(rng):\n    return rng.random()\n"
+    )
+    (pkg / "launch.py").write_text(
+        "import numpy as np\n"
+        "from repro.simulation.engine import run_sim\n"
+        "def main():\n"
+        "    return run_sim(np.random.default_rng())\n"
+    )
+    cold = run_checks(
+        pkg, [], flow_rules=default_flow_rules(), fact_cache=FactCache(cache_path)
+    )
+    warm = run_checks(
+        pkg, [], flow_rules=default_flow_rules(), fact_cache=FactCache(cache_path)
+    )
+    assert warm.fact_cache_misses == 0
+    assert [f.as_dict() for f in warm.findings] == [f.as_dict() for f in cold.findings]
+    assert any(f.rule == "seed-provenance" for f in cold.findings)
+
+
+# -- SARIF --------------------------------------------------------------------
+
+
+def test_sarif_schema_smoke():
+    findings = _flow({"repro/spec.py": _SPEC_FIXTURE.format(field="secret_knob")})
+    rules = [*default_rules(), *default_flow_rules()]
+    payload = json.loads(render_sarif(Baseline().compare(findings), rules))
+    assert payload["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in payload["$schema"]
+    (run,) = payload["runs"]
+    descriptors = run["tool"]["driver"]["rules"]
+    assert [d["id"] for d in descriptors] == [r.name for r in rules]
+    assert all(d["shortDescription"]["text"] for d in descriptors)
+    (result,) = [r for r in run["results"] if r["ruleId"] == "cache-key-soundness"]
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].startswith("src/repro/")
+    assert location["region"]["startLine"] >= 1
+    assert location["region"]["startColumn"] >= 1
+    assert result["partialFingerprints"]["simlint/v1"]
+    assert result["ruleIndex"] == [r.name for r in rules].index("cache-key-soundness")
+
+
+def test_sarif_is_deterministic():
+    findings = _flow({"repro/spec.py": _SPEC_FIXTURE.format(field="secret_knob")})
+    rules = [*default_rules(), *default_flow_rules()]
+    first = render_sarif(Baseline().compare(findings), rules)
+    second = render_sarif(Baseline().compare(findings), rules)
+    assert first == second
+
+
+# -- CLI exit codes -----------------------------------------------------------
+
+
+def _write_violation(tmp_path: Path) -> Path:
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "sim.py").write_text(
+        "import time\n"
+        "class Simulator:\n"
+        "    def run(self):\n"
+        "        return time.time()\n"
+    )
+    return pkg
+
+
+def test_cli_exit_one_on_flow_finding(tmp_path, capsys):
+    pkg = _write_violation(tmp_path)
+    code = simlint_main(
+        ["check", "--root", str(pkg), "--baseline", str(tmp_path / "absent.json")]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "determinism-reachability" in out
+
+
+def test_cli_exit_zero_with_exit_zero_flag(tmp_path, capsys):
+    pkg = _write_violation(tmp_path)
+    code = simlint_main(
+        [
+            "check",
+            "--exit-zero",
+            "--json",
+            "--root",
+            str(pkg),
+            "--baseline",
+            str(tmp_path / "absent.json"),
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["clean"] is False  # the report still tells the truth
+
+
+def test_cli_no_flow_skips_interprocedural_rules(tmp_path, capsys):
+    pkg = _write_violation(tmp_path)
+    code = simlint_main(
+        [
+            "check",
+            "--no-flow",
+            "--root",
+            str(pkg),
+            "--baseline",
+            str(tmp_path / "absent.json"),
+        ]
+    )
+    out = capsys.readouterr().out
+    # The syntactic no-wall-clock rule is scoped to repro.simulation/
+    # networking, so with flow off this tree is (by design) not flagged.
+    assert code == 0
+    assert "determinism-reachability" not in out
+
+
+def test_cli_exit_two_on_crash_not_findings(tmp_path):
+    """A missing root is an invocation error (2), never a clean run."""
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.analysis",
+            "check",
+            "--root",
+            str(tmp_path / "nowhere"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 2
+
+
+def test_cli_sarif_on_shipped_tree(capsys):
+    code = simlint_main(
+        [
+            "check",
+            "--sarif",
+            "--no-fact-cache",
+            "--root",
+            str(PACKAGE_ROOT),
+            "--baseline",
+            str(REPO_ROOT / "simlint_baseline.json"),
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["version"] == "2.1.0"
+    # Clean tree: only baselined notes may appear, never errors.
+    assert all(r["level"] == "note" for r in payload["runs"][0]["results"])

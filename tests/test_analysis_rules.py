@@ -542,8 +542,11 @@ def test_syntax_error_surfaces_as_finding(tmp_path):
     pkg = tmp_path / "repro"
     pkg.mkdir()
     (pkg / "broken.py").write_text("def f(:\n")
-    findings = run_checks(pkg, default_rules())
-    assert any(f.rule == "simlint" and "does not parse" in f.message for f in findings)
+    run = run_checks(pkg, default_rules())
+    assert run.checked_files == 1
+    assert any(
+        f.rule == "simlint" and "does not parse" in f.message for f in run.findings
+    )
 
 
 # -- baseline round-trip -----------------------------------------------------

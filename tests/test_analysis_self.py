@@ -16,7 +16,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import Baseline, default_rules, run_checks
+from repro.analysis import Baseline, default_flow_rules, default_rules, run_checks
 from repro.analysis.__main__ import main as simlint_main
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -26,9 +26,11 @@ BASELINE_PATH = REPO_ROOT / "simlint_baseline.json"
 
 @pytest.fixture(scope="module")
 def comparison():
-    findings = run_checks(PACKAGE_ROOT, default_rules())
+    run = run_checks(
+        PACKAGE_ROOT, default_rules(), flow_rules=default_flow_rules()
+    )
     baseline = Baseline.load(BASELINE_PATH) if BASELINE_PATH.is_file() else Baseline()
-    return baseline.compare(findings)
+    return baseline.compare(run.findings)
 
 
 def test_tree_has_no_new_findings(comparison):
