@@ -10,12 +10,12 @@ performance history lives in the repo alongside the code that produced it.
 
 Usage::
 
-    # full suite (minutes); writes BENCH_PR9.json in the repo root
-    python benchmarks/record.py --output BENCH_PR9.json
+    # full suite (minutes); writes BENCH_PR10.json in the repo root
+    python benchmarks/record.py --output BENCH_PR10.json
 
     # CI smoke: seconds, large-scenario benches only
     python benchmarks/record.py --smoke --output bench_smoke.json \
-        --check-against BENCH_PR9.json --max-regression 0.25
+        --check-against BENCH_PR10.json --max-regression 0.25
 
 ``--check-against`` compares the recorded events-per-second benches with a
 baseline file and exits non-zero when one regresses by more than
@@ -228,8 +228,8 @@ def check_regressions(
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_PR9.json",
-                        help="output JSON path (default: BENCH_PR9.json)")
+    parser.add_argument("--output", default="BENCH_PR10.json",
+                        help="output JSON path (default: BENCH_PR10.json)")
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-scale subset: large-scenario benches only")
     parser.add_argument("--rounds", type=int, default=3,

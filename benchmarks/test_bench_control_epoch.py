@@ -1,0 +1,100 @@
+"""Benchmark C-1: the closed-loop observation plane is near-free.
+
+The control probe's promise is that *watching* a run costs nothing worth
+mentioning: per-window counters are snapshot deltas of stats the simulation
+already keeps, busy time is a transition ledger, and the stepped driver
+schedules no events.  This gate pins that promise on the 500-node
+scale-free campus from benchmark L-1, two ways:
+
+* **equivalence** -- a static-controller stepped run reproduces the
+  uncontrolled run byte-identically (always asserted);
+* **overhead** -- the probe-attributable time in a stepped episode
+  (install + per-epoch collect/apply, everything the uncontrolled run
+  does not pay; the segmented ``run_until`` itself is pinned
+  byte-identical by the engine tests) stays within 5% of the episode's
+  wall time.  Attributing the cost inside one run, rather than racing two
+  whole runs, keeps the gate meaningful on machines whose run-to-run
+  wall-clock jitter exceeds the budget being enforced.
+
+The timing half is skipped on shared CI runners (``CI`` set) and in
+``REPRO_BENCH_SMOKE=1`` mode, like every other benchmark here.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.control import ControlProbe, SimEnv, StaticController
+
+from test_bench_large_scenario import large_scale_free_scenario
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Probe-overhead budget: fraction of the stepped episode's wall time.
+MAX_OVERHEAD_FRAC = 0.05
+
+#: Longer than L-1's record workload so the simulated portion dominates
+#: the build and the 5-epoch probe servicing has signal to measure.
+BENCH_DURATION_S = 0.02 if SMOKE else 0.05
+
+
+def _stepped_static_run(scenario):
+    """One full episode through SimEnv with the identity controller."""
+    env = SimEnv(scenario, epoch_s=scenario.duration_s / 5)
+    env.rollout(StaticController())
+    return env.result_set()
+
+
+def _probe_attributed_episode(scenario) -> "tuple[float, float]":
+    """(probe-attributable seconds, total episode seconds) for one episode.
+
+    Times the three probe entry points the uncontrolled run never calls --
+    ``install``, ``collect``, ``apply`` -- against a wall-clock ledger,
+    over one full stepped episode.  Numerator and denominator come from
+    the same run, so machine-load drift between runs cancels out of the
+    ratio.
+    """
+    ledger = 0.0
+    epoch_s = scenario.duration_s / 5
+    total_start = time.perf_counter()
+    net, placement = scenario.build_network()
+    for node in net.nodes.values():
+        node.stats.reset()
+    probe = ControlProbe(net, placement.flows, epoch_s)
+    mark = time.perf_counter()
+    probe.install()
+    ledger += time.perf_counter() - mark
+    net.start()
+    end_time = net.sim.now + scenario.duration_s
+    while net.sim.now < end_time:
+        mark = time.perf_counter()
+        probe.apply(None)
+        ledger += time.perf_counter() - mark
+        net.sim.run_until(min(probe.next_boundary(), end_time))
+        mark = time.perf_counter()
+        probe.collect()
+        ledger += time.perf_counter() - mark
+    total = time.perf_counter() - total_start
+    return ledger, total
+
+
+def test_stepped_static_run_is_byte_identical():
+    scenario = large_scale_free_scenario()
+    assert _stepped_static_run(scenario).to_bytes() == scenario.run().to_bytes()
+
+
+def test_probe_overhead_within_budget():
+    if SMOKE or os.environ.get("CI"):
+        return  # wall-clock ratios are not trustworthy here
+    scenario = large_scale_free_scenario().with_overrides(
+        duration_s=BENCH_DURATION_S
+    )
+    best_frac = 1.0
+    for _ in range(3):
+        probe_s, total_s = _probe_attributed_episode(scenario)
+        best_frac = min(best_frac, probe_s / total_s)
+    assert best_frac <= MAX_OVERHEAD_FRAC, (
+        f"control probe consumed {best_frac:.1%} of the stepped episode "
+        f"(budget {MAX_OVERHEAD_FRAC:.0%})"
+    )

@@ -57,7 +57,12 @@ __all__ = [
 ]
 
 #: Packages whose code must only ever receive seeded RNG values.
-PROTECTED_PREFIXES = ("repro.simulation", "repro.networking", "repro.runner")
+PROTECTED_PREFIXES = (
+    "repro.simulation",
+    "repro.networking",
+    "repro.runner",
+    "repro.control",
+)
 
 
 def _short(qualname: str) -> str:
@@ -258,14 +263,17 @@ class SeedProvenanceRule(FlowRule):
 class DeterminismReachabilityRule(FlowRule):
     name = "determinism-reachability"
     description = (
-        "Nothing reachable from Scenario.run / Simulator.run may read wall "
-        "clocks, ambient state (os.environ/os.urandom), or mutate module "
-        "globals; reported with the call path that reaches the violation."
+        "Nothing reachable from Scenario.run / Simulator.run / SimEnv.step "
+        "may read wall clocks, ambient state (os.environ/os.urandom), or "
+        "mutate module globals; reported with the call path that reaches "
+        "the violation."
     )
     scopes = ("repro",)
 
-    #: (class name, method) pairs treated as determinism roots.
-    ENTRY_POINTS = (("Scenario", "run"), ("Simulator", "run"))
+    #: (class name, method) pairs treated as determinism roots.  SimEnv.step
+    #: is the closed-loop entry point: controller code runs inside it, so
+    #: anything a controller reaches is held to the same standard.
+    ENTRY_POINTS = (("Scenario", "run"), ("Simulator", "run"), ("SimEnv", "step"))
 
     def check_program(self, index: ProgramIndex) -> Iterable[Finding]:
         findings: List[Finding] = []

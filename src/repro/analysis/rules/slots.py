@@ -7,8 +7,9 @@ class in the MRO declares it -- one slot-less base silently re-adds the
 dict to every instance -- so this rule checks the whole local inheritance
 chain, not just the class itself.
 
-Scope: ``repro.simulation`` and ``repro.networking`` (the packet-rate hot
-path).  Recognised slot declarations: a literal ``__slots__`` assignment in
+Scope: ``repro.simulation``, ``repro.networking``, and ``repro.control``
+(the packet-rate hot path plus the per-epoch observation plane, whose
+windows live next to NodeStats on that path).  Recognised slot declarations: a literal ``__slots__`` assignment in
 the class body, ``@dataclass(slots=True)``, and ``NamedTuple`` subclasses
 (which are slotted by construction).  Exempt: enums, TypedDicts, Protocols,
 and exception types, where a ``__dict__`` is inherent or harmless.
@@ -39,7 +40,7 @@ _EXEMPT_BASES = {
 #: Bases that imply the class is already slotted by construction.
 _IMPLICITLY_SLOTTED_BASES = {"NamedTuple"}
 
-_REPORT_SCOPES = ("repro.simulation", "repro.networking")
+_REPORT_SCOPES = ("repro.simulation", "repro.networking", "repro.control")
 
 
 @dataclass(slots=True)

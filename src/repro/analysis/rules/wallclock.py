@@ -1,10 +1,11 @@
 """no-wall-clock: simulation code reads the sim clock, never the host's.
 
 A single ``time.time()`` / ``perf_counter()`` / ``datetime.now()`` inside
-the event engine, radios, MACs, or the forwarding layer couples results to
-the machine running them -- replays stop being bit-identical and cached
-sweeps stop being trustworthy.  Inside ``repro.simulation`` and
-``repro.networking`` the only clock is ``Simulator.now``.
+the event engine, radios, MACs, the forwarding layer, or the closed-loop
+control plane couples results to the machine running them -- replays stop
+being bit-identical and cached sweeps stop being trustworthy.  Inside
+``repro.simulation``, ``repro.networking``, and ``repro.control`` the only
+clock is ``Simulator.now``.
 
 (Benchmark and recording code legitimately reads wall time; it lives
 outside these packages, so the rule's scope already excludes it.)
@@ -42,10 +43,10 @@ class NoWallClockRule(Rule):
     name = "no-wall-clock"
     description = (
         "Forbid wall-clock reads (time.time/perf_counter/datetime.now) in "
-        "repro.simulation and repro.networking -- the sim clock is the only "
-        "time source."
+        "repro.simulation, repro.networking, and repro.control -- the sim "
+        "clock is the only time source."
     )
-    scopes = ("repro.simulation", "repro.networking")
+    scopes = ("repro.simulation", "repro.networking", "repro.control")
 
     def check_file(self, ctx: FileContext) -> Iterable[Finding]:
         findings: List[Finding] = []

@@ -19,10 +19,27 @@ Plug in a new workload without touching ``Scenario`` internals::
     @registry.MACS.register("aloha")
     def aloha(network, node_id, radio, rate_selector, rng, **params): ...
 
+    @registry.CONTROLLERS.register("epsilon")
+    def epsilon(scenario, rng, **params): ...
+
     Study(topology="ring", traffic="bursty", mac="aloha").run()
 """
 
 from .. import scenarios as _scenarios  # noqa: F401 -- registers the builtins
-from ..registry import EXPERIMENTS, MACS, Registry, TOPOLOGIES, TRAFFIC_MODELS
+from ..registry import (
+    CONTROLLERS,
+    EXPERIMENTS,
+    MACS,
+    Registry,
+    TOPOLOGIES,
+    TRAFFIC_MODELS,
+)
 
-__all__ = ["Registry", "TOPOLOGIES", "MACS", "TRAFFIC_MODELS", "EXPERIMENTS"]
+__all__ = [
+    "Registry",
+    "TOPOLOGIES",
+    "MACS",
+    "TRAFFIC_MODELS",
+    "EXPERIMENTS",
+    "CONTROLLERS",
+]

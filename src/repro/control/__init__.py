@@ -1,0 +1,40 @@
+"""Closed-loop control: observation plane, stepped environment, controllers.
+
+The paper's threshold-tuning story is open-loop -- pick a CCA threshold,
+run, measure.  This subsystem closes the loop online: a
+:class:`~repro.control.probe.ControlProbe` summarises fixed epochs of a
+running network into typed :class:`~repro.control.probe.Observation`
+windows, :class:`~repro.control.env.SimEnv` exposes the run as a gym-style
+``reset()/step(action)/observe()`` episode, and registered controllers
+(:data:`repro.registry.CONTROLLERS`) adjust the CCA threshold and bitrate
+between epochs.  ``Scenario(controller="hysteresis", ...)`` rides the whole
+Scenario/Study/Experiment machinery -- caching, warm dispatch, sweeps --
+unchanged.
+
+Determinism contract: the observation plane consumes no simulation
+randomness, the stepped driver schedules no events, and controllers are
+pure functions of the observations plus their own seeded rng.  A ``static``
+(no-op) controller therefore replays the uncontrolled run byte-identically.
+"""
+
+from .controllers import (
+    AimdBitrateController,
+    Controller,
+    HysteresisThresholdController,
+    StaticController,
+    controller_rng,
+)
+from .env import Action, SimEnv
+from .probe import ControlProbe, Observation
+
+__all__ = [
+    "Action",
+    "AimdBitrateController",
+    "Controller",
+    "ControlProbe",
+    "HysteresisThresholdController",
+    "Observation",
+    "SimEnv",
+    "StaticController",
+    "controller_rng",
+]

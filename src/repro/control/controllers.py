@@ -1,0 +1,192 @@
+"""Online controllers: pure functions of Observation history + seeded rng.
+
+The invariant (see CONTRIBUTING): a controller may keep its own state and
+draw from the seeded generator its factory receives, but it must not read
+wall clocks, ambient state, or simulation internals -- ``decide`` sees only
+the typed :class:`~repro.control.probe.Observation`.  That keeps controlled
+runs exactly replayable and lets the cache key a controlled scenario by
+``(controller, controller_params)`` alone.
+
+Builtins:
+
+* ``static`` -- :class:`StaticController`, the identity policy.  Never
+  acts, so a ``controller="static"`` run replays the uncontrolled run
+  byte-identically: the subsystem's equivalence anchor.
+* ``hysteresis`` -- :class:`HysteresisThresholdController`, a CCA
+  threshold stepper with a loss deadband: raise the threshold (more
+  concurrency) while windows are clean, lower it (more deference) when
+  loss crosses the high-water mark.  The online version of the paper's
+  tuned-threshold story.
+* ``aimd`` -- :class:`AimdBitrateController`, additive-increase /
+  multiplicative-decrease over the OFDM rate ladder, the On-Line
+  End-to-End Congestion Control framing applied to bitrate.
+
+Plugin controllers register the same way::
+
+    from repro.api.registry import CONTROLLERS
+
+    @CONTROLLERS.register("epsilon")
+    def _epsilon(scenario, rng, **params):
+        return EpsilonGreedyController(rng=rng, **params)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from ..capacity.rates import OFDM_RATES
+from ..registry import CONTROLLERS
+from .env import Action
+from .probe import Observation
+
+__all__ = [
+    "Controller",
+    "StaticController",
+    "HysteresisThresholdController",
+    "AimdBitrateController",
+    "controller_rng",
+    "CONTROLLER_STREAM",
+]
+
+#: SeedSequence stream key for controller randomness -- distinct from the
+#: channel's ``(seed, 1)`` stream so controller draws can never collide
+#: with propagation draws.
+CONTROLLER_STREAM = 0xC0
+
+
+def controller_rng(seed: int) -> np.random.Generator:
+    """The seeded stream a scenario's controller draws from."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=(int(seed), CONTROLLER_STREAM))
+    )
+
+
+class Controller:
+    """Base policy interface driven once per observation epoch."""
+
+    __slots__ = ()
+
+    def reset(self) -> None:
+        """Clear internal state before an episode (default: stateless)."""
+
+    def decide(self, observation: Observation) -> Optional[Action]:
+        """Map the window just closed to an action for the next window.
+
+        ``None`` (or a zero :class:`Action`) leaves the network untouched.
+        """
+        raise NotImplementedError
+
+
+class StaticController(Controller):
+    """The identity controller: observes, never acts."""
+
+    __slots__ = ()
+
+    def decide(self, observation: Observation) -> Optional[Action]:
+        return None
+
+
+class HysteresisThresholdController(Controller):
+    """Step the network CCA threshold against windowed loss, with a deadband.
+
+    Loss above ``loss_hi`` steps the threshold down ``step_db`` (defer
+    more); loss below ``loss_lo`` steps it up (admit more concurrency);
+    the band between holds.  Windows with no sends are ignored -- an idle
+    burst source says nothing about the operating point.
+    """
+
+    __slots__ = ("loss_lo", "loss_hi", "step_db")
+
+    def __init__(
+        self, loss_lo: float = 0.02, loss_hi: float = 0.15, step_db: float = 3.0
+    ) -> None:
+        if not 0.0 <= loss_lo < loss_hi <= 1.0:
+            raise ValueError("need 0 <= loss_lo < loss_hi <= 1")
+        if step_db <= 0:
+            raise ValueError("step_db must be positive")
+        self.loss_lo = float(loss_lo)
+        self.loss_hi = float(loss_hi)
+        self.step_db = float(step_db)
+
+    def decide(self, observation: Observation) -> Optional[Action]:
+        loss = observation.loss_frac
+        if observation.sent_packets == 0 or math.isnan(loss):
+            return None
+        if loss > self.loss_hi:
+            return Action(cca_delta_db=-self.step_db)
+        if loss < self.loss_lo:
+            return Action(cca_delta_db=self.step_db)
+        return None
+
+
+class AimdBitrateController(Controller):
+    """AIMD over the OFDM rate ladder, driven by windowed loss.
+
+    Clean windows (loss below ``loss_hi``) add ``increase_step`` rate
+    indices; lossy windows multiplicatively decay the index by
+    ``md_factor``.  Steers through :class:`Action.rate_step` relative to the
+    operating point the observation reports, so the controller carries no
+    hidden rate state of its own.
+    """
+
+    __slots__ = ("loss_hi", "increase_step", "md_factor")
+
+    def __init__(
+        self,
+        loss_hi: float = 0.15,
+        increase_step: int = 1,
+        md_factor: float = 0.5,
+    ) -> None:
+        if not 0.0 < loss_hi <= 1.0:
+            raise ValueError("loss_hi must be in (0, 1]")
+        if increase_step < 1:
+            raise ValueError("increase_step must be at least 1")
+        if not 0.0 <= md_factor < 1.0:
+            raise ValueError("md_factor must be in [0, 1)")
+        self.loss_hi = float(loss_hi)
+        self.increase_step = int(increase_step)
+        self.md_factor = float(md_factor)
+
+    def decide(self, observation: Observation) -> Optional[Action]:
+        loss = observation.loss_frac
+        rate = observation.rate_mbps
+        if observation.sent_packets == 0 or math.isnan(loss) or math.isnan(rate):
+            return None
+        index = next(
+            (i for i, r in enumerate(OFDM_RATES) if r.mbps == rate), None
+        )
+        if index is None:
+            return None
+        if loss >= self.loss_hi:
+            target = int(math.floor(index * self.md_factor))
+            step = target - index
+        else:
+            step = self.increase_step
+        if step == 0:
+            return None
+        return Action(rate_step=step)
+
+
+# -- registry entries ----------------------------------------------------------
+#
+# Factory signature (see repro.registry): fn(scenario, rng, **params).  The
+# builtins are deterministic policies and ignore the seeded rng; it is part
+# of the contract so stochastic plugin controllers (epsilon-greedy, bandits)
+# stay replayable without touching the simulation's streams.
+
+@CONTROLLERS.register("static")
+def _static_controller(scenario: Any, rng: np.random.Generator, **params: Any) -> Controller:
+    return StaticController(**params)
+
+
+@CONTROLLERS.register("hysteresis")
+def _hysteresis_controller(scenario: Any, rng: np.random.Generator, **params: Any) -> Controller:
+    return HysteresisThresholdController(**params)
+
+
+@CONTROLLERS.register("aimd")
+def _aimd_controller(scenario: Any, rng: np.random.Generator, **params: Any) -> Controller:
+    return AimdBitrateController(**params)

@@ -1,0 +1,188 @@
+"""Gym-style stepped environment over one scenario run.
+
+:class:`SimEnv` exposes a :class:`~repro.scenarios.spec.Scenario` as a
+``reset()/step(action)/observe()`` episode: ``reset`` builds and starts the
+network, each ``step`` applies a bounded :class:`Action` and runs the engine
+to the next epoch boundary (:meth:`Simulator.run_until` -- generator-style
+suspension, no extra events scheduled), and the returned
+:class:`~repro.control.probe.Observation` summarises the window just closed.
+After the final step, :meth:`result_set` produces exactly the
+:class:`~repro.results.ResultSet` the scenario's own ``run()`` would --
+byte-identical when no action ever changed the network, which is the
+subsystem's equivalence anchor (a ``static`` controller replays the
+uncontrolled run).
+
+Typical use::
+
+    env = SimEnv(scenario, epoch_s=0.05)
+    obs = env.reset()
+    while not env.done:
+        obs = env.step(controller.decide(obs))
+    results = env.result_set()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..simulation.network import RunResult, WirelessNetwork
+from .probe import DEFAULT_EPOCHS, ControlProbe, Observation
+
+if TYPE_CHECKING:
+    from ..results import ResultSet
+    from ..scenarios.spec import Scenario
+    from ..scenarios.topologies import Placement
+
+__all__ = ["Action", "SimEnv"]
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """A bounded control adjustment applied at an epoch boundary.
+
+    ``cca_delta_db`` shifts every carrier-sensing radio's CCA threshold by
+    the given dB (through the existing ``Radio.cca_threshold_dbm`` setter);
+    ``rate_step`` moves every ``FixedRate`` MAC the given number of entries
+    along the OFDM rate ladder.  Both are clamped by the probe: per step to
+    ``max_cca_step_db`` / ``max_rate_step`` and absolutely to
+    ``[cca_min_dbm, cca_max_dbm]`` / the ladder's ends.  The zero action is
+    a strict no-op.
+    """
+
+    cca_delta_db: float = 0.0
+    rate_step: int = 0
+
+    @property
+    def is_noop(self) -> bool:
+        return self.cca_delta_db == 0.0 and self.rate_step == 0
+
+
+class SimEnv:
+    """Stepped environment facade over one scenario episode."""
+
+    __slots__ = (
+        "scenario",
+        "epoch_s",
+        "net",
+        "placement",
+        "probe",
+        "_probe_params",
+        "_warm",
+        "_end_time",
+        "_done",
+        "_last_obs",
+    )
+
+    def __init__(
+        self,
+        scenario: "Scenario",
+        epoch_s: Optional[float] = None,
+        warm: Optional[Tuple[Any, ...]] = None,
+        **probe_params: Any,
+    ) -> None:
+        """``epoch_s`` falls back to the scenario's ``control_epoch_s`` and
+        then to ``duration_s / DEFAULT_EPOCHS``.  ``warm`` is the optional
+        precomputed state from :meth:`Scenario.compute_warm_state`; extra
+        keyword arguments configure the probe's actuation bounds."""
+        if epoch_s is None:
+            epoch_s = getattr(scenario, "control_epoch_s", None)
+        if epoch_s is None:
+            epoch_s = scenario.duration_s / DEFAULT_EPOCHS
+        self.scenario = scenario
+        self.epoch_s = float(epoch_s)
+        self._probe_params = dict(probe_params)
+        self._warm = warm
+        self.net: Optional[WirelessNetwork] = None
+        self.placement: Optional["Placement"] = None
+        self.probe: Optional[ControlProbe] = None
+        self._end_time = 0.0
+        self._done = False
+        self._last_obs: Optional[Observation] = None
+
+    # -- episode lifecycle -----------------------------------------------------
+
+    def reset(self) -> Observation:
+        """Build and start a fresh network; return the baseline observation.
+
+        Mirrors the uncontrolled run's setup order (stats reset, then
+        start); the probe installs its windows in between, which touches
+        nothing the simulation reads.
+        """
+        net, placement = self.scenario.build_network(self._warm)
+        for node in net.nodes.values():
+            node.stats.reset()
+        probe = ControlProbe(
+            net, placement.flows, self.epoch_s, **self._probe_params
+        )
+        probe.install()
+        net.start()
+        self.net = net
+        self.placement = placement
+        self.probe = probe
+        self._end_time = net.sim.now + self.scenario.duration_s
+        self._done = False
+        self._last_obs = probe.baseline()
+        return self._last_obs
+
+    def step(self, action: Optional[Action] = None) -> Observation:
+        """Apply ``action``, run to the next epoch boundary, observe."""
+        if self.probe is None or self.net is None:
+            raise RuntimeError("call reset() before step()")
+        if self._done:
+            raise RuntimeError("episode is over; call reset() to start a new one")
+        self.probe.apply(action)
+        sim = self.net.sim
+        target = min(self.probe.next_boundary(), self._end_time)
+        sim.run_until(target)
+        observation = self.probe.collect()
+        self._last_obs = observation
+        if sim.now >= self._end_time:
+            self._done = True
+        return observation
+
+    def observe(self) -> Observation:
+        """The most recent observation (baseline until the first step)."""
+        if self._last_obs is None:
+            raise RuntimeError("call reset() first")
+        return self._last_obs
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def history(self) -> List[Observation]:
+        """All closed-window observations so far (the per-epoch trace)."""
+        return list(self.probe.history) if self.probe is not None else []
+
+    # -- results ---------------------------------------------------------------
+
+    def rollout(self, controller: Any) -> Observation:
+        """Run one full closed-loop episode with ``controller``."""
+        observation = self.reset()
+        if hasattr(controller, "reset"):
+            controller.reset()
+        while not self._done:
+            observation = self.step(controller.decide(observation))
+        return observation
+
+    def result_set(
+        self, extra_meta: Optional[Dict[str, Any]] = None
+    ) -> "ResultSet":
+        """The finished episode as the scenario's columnar ResultSet.
+
+        Identical (to the byte) to ``scenario.run()`` when no action ever
+        changed the network.  ``extra_meta`` entries are added to the
+        scenario-index meta dict (how controlled runs attach their trace).
+        """
+        if not self._done or self.net is None or self.placement is None:
+            raise RuntimeError("run the episode to completion first")
+        outcome = RunResult(
+            duration_s=self.scenario.duration_s,
+            nodes=dict(self.net.nodes),
+            events_processed=self.net.sim.events_processed,
+        )
+        return self.scenario._result_set(
+            self.net, self.placement, outcome, extra_meta=extra_meta
+        )

@@ -19,6 +19,7 @@ from . import (
     ablation_fixed_bitrate,
     ablation_noise_floor,
     bianchi_vs_sim,
+    control_under_burst,
     figure02_landscape,
     figure03_preferences,
     figure04_curves,
@@ -26,6 +27,7 @@ from . import (
     figure07_optimal_threshold,
     figure09_shadowing,
     figure14_propagation_fit,
+    online_vs_static,
     run_scenarios,
     saturated_network,
     section34_mistake_probability,

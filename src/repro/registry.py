@@ -22,13 +22,23 @@ Factory signatures:
   -> MacBase`` (see :mod:`repro.simulation.network`).
 * **traffic** -- ``fn(scenario, network, destination, **params)
   -> TrafficSource | None`` (see :mod:`repro.scenarios.spec`).
+* **controller** -- ``fn(scenario, rng, **params) -> Controller``
+  (see :mod:`repro.control.controllers`); ``rng`` is a seeded generator
+  derived from the scenario seed, independent of the simulation streams.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
-__all__ = ["Registry", "TOPOLOGIES", "MACS", "TRAFFIC_MODELS", "EXPERIMENTS"]
+__all__ = [
+    "Registry",
+    "TOPOLOGIES",
+    "MACS",
+    "TRAFFIC_MODELS",
+    "CONTROLLERS",
+    "EXPERIMENTS",
+]
 
 
 class Registry:
@@ -111,6 +121,12 @@ MACS = Registry("mac")
 
 #: Traffic-source factories (builtins registered by :mod:`repro.scenarios.spec`).
 TRAFFIC_MODELS = Registry("traffic model")
+
+#: Online-controller factories (builtins registered by
+#: :mod:`repro.control.controllers`).  Selected by
+#: ``Scenario(controller="name", controller_params={...})`` and driven once
+#: per observation epoch by :class:`repro.control.env.SimEnv`.
+CONTROLLERS = Registry("controller")
 
 #: Experiment harnesses (:class:`repro.api.experiment.Experiment` objects;
 #: builtins registered by the :mod:`repro.experiments` modules).  Plugin

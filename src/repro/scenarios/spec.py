@@ -18,16 +18,18 @@ import numpy as np
 
 from ..capacity.rates import rate_by_mbps
 from ..constants import DEFAULT_TX_POWER_DBM, EXPERIMENT_PAYLOAD_BYTES, FREQ_5_GHZ
+from ..control.controllers import controller_rng
+from ..control.env import SimEnv
 from ..networking.forwarding import ForwardingNode, ForwardingQueue
 from ..networking.routing import RouteTable
 from ..propagation.channel import ChannelModel
 from ..propagation.pathloss import LogDistancePathLoss
-from ..registry import MACS, TRAFFIC_MODELS
+from ..registry import CONTROLLERS, MACS, TRAFFIC_MODELS
 from ..results import ResultSet
 from ..simulation.mac.tdma import TdmaSchedule
 from ..simulation.medium import DEFAULT_DETECTABILITY_MARGIN_DB, Medium
-from ..simulation.network import WirelessNetwork
-from ..simulation.traffic import PoissonTraffic, SaturatedTraffic
+from ..simulation.network import RunResult, WirelessNetwork
+from ..simulation.traffic import OnOffTraffic, PoissonTraffic, SaturatedTraffic
 from .topologies import Placement, generate_topology
 
 __all__ = ["Scenario"]
@@ -53,6 +55,23 @@ def _poisson_traffic(scenario: "Scenario", net: WirelessNetwork, destination: st
     return PoissonTraffic(
         sim=net.sim,
         rate_pps=scenario.offered_load_pps,
+        destination=destination,
+        payload_bytes=scenario.payload_bytes,
+        rng=net._child_rng(),
+        **params,
+    )
+
+
+@TRAFFIC_MODELS.register("onoff")
+def _onoff_traffic(scenario: "Scenario", net: WirelessNetwork, destination: str, **params):
+    """Heavy-tailed ON/OFF bursts: saturated while ON, silent while OFF.
+
+    ``traffic_params`` carries ``mean_on_s`` / ``mean_off_s`` / ``shape`` /
+    ``start_on``; durations draw from the network's seeded child stream so
+    replays are deterministic, independent of any control plane.
+    """
+    return OnOffTraffic(
+        sim=net.sim,
         destination=destination,
         payload_bytes=scenario.payload_bytes,
         rng=net._child_rng(),
@@ -123,6 +142,19 @@ class Scenario:
     #: received power demanded of a routable link).  Omitted from
     #: :meth:`as_config` while empty, like the other param dicts.
     routing_params: Dict[str, Any] = field(default_factory=dict)
+    # closed-loop control (``None`` keeps the historical open-loop run).
+    #: Name of a registered online controller (see
+    #: :data:`repro.registry.CONTROLLERS`); the run is then driven through
+    #: :class:`repro.control.env.SimEnv` in fixed observation epochs, with
+    #: the per-epoch trace attached to the result meta under ``"control"``.
+    #: All three fields follow the omit-when-unset cache-key compatibility
+    #: rule, so uncontrolled scenarios hash exactly as before.
+    controller: Optional[str] = None
+    #: Extra keyword arguments for the registered controller factory.
+    controller_params: Dict[str, Any] = field(default_factory=dict)
+    #: Observation-epoch length in seconds; ``None`` uses
+    #: ``duration_s / DEFAULT_EPOCHS``.  Requires ``controller``.
+    control_epoch_s: Optional[float] = None
     # measurement
     duration_s: float = 1.0
 
@@ -159,6 +191,17 @@ class Scenario:
             raise ValueError("queue_capacity / routing_params require routing")
         if self.queue_capacity is not None and self.queue_capacity < 1:
             raise ValueError("queue_capacity must be at least 1 (or None for unbounded)")
+        if self.controller is not None and self.controller not in CONTROLLERS:
+            known = ", ".join(sorted(CONTROLLERS))
+            raise ValueError(f"unknown controller {self.controller!r} (known: {known})")
+        if self.controller is None and (
+            self.control_epoch_s is not None or self.controller_params
+        ):
+            raise ValueError("control_epoch_s / controller_params require controller")
+        if self.control_epoch_s is not None and (
+            not math.isfinite(self.control_epoch_s) or self.control_epoch_s <= 0
+        ):
+            raise ValueError("control_epoch_s must be positive (or None for the default)")
 
     # -- construction ----------------------------------------------------------
 
@@ -340,9 +383,51 @@ class Scenario:
         subscripting (``result["total_pps"]``) and
         :meth:`ResultSet.to_flow_dicts` expose the historical encoding
         unchanged.
+
+        With ``controller`` set, the run is driven through
+        :class:`repro.control.env.SimEnv` in ``control_epoch_s`` windows and
+        the per-epoch observation trace rides the scenario meta under
+        ``"control"`` -- everything else (columns, caching, warm dispatch)
+        is unchanged, and a ``static`` controller reproduces the
+        uncontrolled columns byte-identically.
         """
+        if self.controller is not None:
+            return self._run_controlled(warm)
         net, placement = self.build_network(warm)
         outcome = net.run(self.duration_s)
+        return self._result_set(net, placement, outcome)
+
+    def _run_controlled(self, warm: Optional[Tuple[Any, ...]] = None) -> ResultSet:
+        """Closed-loop run: step the env, let the controller act per epoch."""
+        env = SimEnv(self, warm=warm)
+        factory = CONTROLLERS.get(self.controller)
+        controller = factory(self, controller_rng(self.seed), **self.controller_params)
+        env.rollout(controller)
+        trace = [observation.as_dict() for observation in env.history]
+        return env.result_set(
+            extra_meta={
+                "control": {
+                    "controller": self.controller,
+                    "epoch_s": env.epoch_s,
+                    "epochs": len(trace),
+                    "trace": trace,
+                }
+            }
+        )
+
+    def _result_set(
+        self,
+        net: WirelessNetwork,
+        placement: Placement,
+        outcome: RunResult,
+        extra_meta: Optional[Dict[str, Any]] = None,
+    ) -> ResultSet:
+        """Assemble the columnar ResultSet for a finished run.
+
+        Shared by the open-loop path and the stepped env
+        (:meth:`repro.control.env.SimEnv.result_set`), so both produce the
+        same bytes from the same network state.
+        """
         routes = net.route_table
         n_flows = len(placement.flows)
         flow_rates: list = []
@@ -396,6 +481,8 @@ class Scenario:
             "max_flow_pps": float(max(flow_rates)) if flow_rates else 0.0,
             "events_processed": outcome.events_processed,
         }
+        if extra_meta:
+            meta.update(extra_meta)
         return ResultSet.from_flows(
             meta,
             placement.flows,
@@ -424,14 +511,16 @@ class Scenario:
         """
         config = asdict(self)
         config["topology_params"] = dict(self.topology_params)
-        for optional in ("traffic_params", "mac_params", "routing_params"):
+        for optional in ("traffic_params", "mac_params", "routing_params", "controller_params"):
             if not config[optional]:
                 del config[optional]
             else:
                 config[optional] = dict(config[optional])
         # Same cache-key compatibility rule for the networking fields: a
-        # scenario without a routing layer hashes exactly as it always did.
-        for optional in ("routing", "queue_capacity"):
+        # scenario without a routing layer hashes exactly as it always did,
+        # and likewise an uncontrolled scenario hashes without the
+        # controller fields.
+        for optional in ("routing", "queue_capacity", "controller", "control_epoch_s"):
             if config[optional] is None:
                 del config[optional]
         return config

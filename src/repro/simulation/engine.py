@@ -367,6 +367,31 @@ class Simulator:
         if until is not None and until > self._now:
             self._now = until
 
+    def run_until(self, time: float) -> None:
+        """Run events up to and including ``time``, leaving the clock there.
+
+        The bounded *re-entrant* form of :meth:`run`: calling it repeatedly
+        with increasing times executes exactly the events a single
+        ``run(until=last_time)`` would, in the same order, with the same
+        final ``events_processed`` count.  Slot recycling guarantees the
+        segmentation is invisible: one-shot events and fired timers are
+        collected when they pop, so a later segment can never re-execute
+        them, and ``events_processed`` counts each event exactly once.
+        Events scheduled *at* a segment boundary fire in the segment that
+        ends there (``run``'s inclusive-``until`` rule), so stepped drivers
+        (:class:`repro.control.env.SimEnv`) observe windows with
+        well-defined closed right edges.
+
+        Unlike ``run(until=...)`` -- which silently does nothing useful for
+        a bound in the past -- a backwards target is rejected, because a
+        stepped caller asking to run to an earlier time is always a bug.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot run backwards (time={time}, now={self._now})"
+            )
+        self.run(until=time)
+
     def step(self) -> bool:
         """Execute the single next pending event.  Returns False when idle."""
         heap = self._heap

@@ -126,6 +126,8 @@ class Radio:
         "on_frame_received",
         "on_transmit_complete",
         "_was_busy",
+        "_busy_accum_s",
+        "_busy_since",
     )
 
     def __init__(
@@ -179,6 +181,11 @@ class Radio:
         self.on_transmit_complete: Callable[[Frame], None] = lambda frame: None
 
         self._was_busy = False
+        # Deterministic busy-time ledger, maintained on the busy/idle
+        # transitions the radio already detects.  Observation probes read it
+        # to report sensed-busy fractions without polling the channel.
+        self._busy_accum_s = 0.0
+        self._busy_since = 0.0
 
     # -- medium wiring -------------------------------------------------------------
 
@@ -293,9 +300,24 @@ class Radio:
         if busy != self._was_busy:
             self._was_busy = busy
             if busy:
+                self._busy_since = self.sim.now
                 self.on_channel_busy()
             else:
+                self._busy_accum_s += self.sim.now - self._busy_since
                 self.on_channel_idle()
+
+    def sensed_busy_time_s(self, now: float) -> float:
+        """Total time the CCA circuit has reported busy, up to ``now``.
+
+        ``now`` must be the caller's current simulation time; an in-progress
+        busy period is counted up to it.  The ledger only advances on the
+        busy/idle edges the radio already evaluates, so between frame edges
+        (e.g. after a mid-run threshold change) it reflects the last verdict
+        -- exactly what the MAC itself believes.
+        """
+        if self._was_busy:
+            return self._busy_accum_s + (now - self._busy_since)
+        return self._busy_accum_s
 
     # -- transmission ---------------------------------------------------------------
 

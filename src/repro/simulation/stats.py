@@ -6,7 +6,7 @@ import random
 import zlib
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Sequence, Tuple
+from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +55,17 @@ class DelayReservoir:
             return tuple(float("nan") for _ in qs)
         values = np.percentile(np.asarray(self.samples, dtype=np.float64), list(qs))
         return tuple(float(v) for v in np.atleast_1d(values))
+
+    def clear(self) -> None:
+        """Drop all samples, keeping the replacement stream's state.
+
+        Used by windowed observers (:class:`repro.control.probe.ControlProbe`)
+        that reuse one reservoir across epochs: the private rng keeps
+        consuming its own seeded stream across windows, so replays stay
+        deterministic and the simulation's generators are never touched.
+        """
+        self.count = 0
+        self.samples.clear()
 
 
 def _reservoir_seed(node_id: Hashable, src: Hashable) -> int:
@@ -133,6 +144,17 @@ class NodeStats:
     #: Time source for delay measurement (the owning node's simulator);
     #: ``None`` leaves the delay accumulators untouched.
     clock: object = field(default=None, repr=False, compare=False)
+    #: Windowed observation plane (:mod:`repro.control`): when a probe is
+    #: installed it maps flow origins to *per-epoch* delay reservoirs that
+    #: the probe drains and clears at each epoch boundary.  ``None`` (the
+    #: default, and what :meth:`reset` restores) keeps the reception hot
+    #: path free of the extra branch's dict work.  The reservoirs use their
+    #: own seeded replacement streams, so installing one never perturbs the
+    #: simulation's randomness -- a probed run replays the unprobed run
+    #: byte-identically.
+    window_delay_from: Optional[Dict[Hashable, DelayReservoir]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def record_reception(self, frame: Frame) -> None:
         origin = frame.flow_src if frame.flow_src is not None else frame.src
@@ -149,6 +171,10 @@ class NodeStats:
                 reservoir = DelayReservoir(seed=_reservoir_seed(self.node_id, origin))
                 self.delay_reservoir_from[origin] = reservoir
             reservoir.add(delay)
+            if self.window_delay_from is not None:
+                window = self.window_delay_from.get(origin)
+                if window is not None:
+                    window.add(delay)
 
     def record_queue_drop(self, flow_src: Hashable, flow_dst: Hashable) -> None:
         """Count one packet the forwarding queue refused (see networking)."""
@@ -202,3 +228,7 @@ class NodeStats:
         self.delay_reservoir_from.clear()
         self.queue_drops = 0
         self.queue_drops_for.clear()
+        # Uninstall any observation windows: probes attach *after* the
+        # pre-run reset (see SimEnv.reset), so a stale probe from an earlier
+        # measurement can never leak into a new one.
+        self.window_delay_from = None

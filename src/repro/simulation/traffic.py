@@ -18,7 +18,7 @@ from ..constants import EXPERIMENT_PAYLOAD_BYTES
 from .engine import Simulator
 from .frames import BROADCAST, FlowTag, Frame
 
-__all__ = ["TrafficSource", "SaturatedTraffic", "PoissonTraffic"]
+__all__ = ["TrafficSource", "SaturatedTraffic", "PoissonTraffic", "OnOffTraffic"]
 
 Packet = Tuple[Hashable, int]
 
@@ -123,3 +123,76 @@ class PoissonTraffic(TrafficSource):
     @property
     def queue_depth(self) -> int:
         return self._queue_depth
+
+
+@dataclass(slots=True)
+class OnOffTraffic(TrafficSource):
+    """Bursty ON/OFF source with heavy-tailed (Pareto) burst and idle times.
+
+    During an ON period the source behaves like :class:`SaturatedTraffic`
+    (always backlogged); during OFF it yields nothing.  Burst and idle
+    durations are Pareto-distributed with shape ``shape`` and means
+    ``mean_on_s`` / ``mean_off_s`` -- the classic heavy-tailed ON/OFF model
+    whose aggregate is self-similar, and the non-stationary offered load the
+    DimDim measurement study motivates for controller evaluation.
+
+    Determinism: state toggles ride the event engine (one event per
+    transition) and durations come from the injected ``rng`` -- the
+    scenario path passes the network's seeded child stream, so replays are
+    exact.  Duration draws use the mean-parameterised Lomax form
+    ``x_m * (1 + pareto(shape))`` with ``x_m = mean * (shape - 1) / shape``,
+    which has the requested mean for every ``shape > 1``.
+    """
+
+    sim: Simulator
+    destination: Hashable = BROADCAST
+    payload_bytes: int = EXPERIMENT_PAYLOAD_BYTES
+    mean_on_s: float = 0.05
+    mean_off_s: float = 0.05
+    shape: float = 1.5
+    start_on: bool = True
+    #: Duration stream; scenario paths inject the network's seeded child
+    #: generator (fixed-seed fallback keeps bare sources replayable).
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+    packets_offered: int = 0
+    packets_sent: int = 0
+    #: Wake hook for a dormant MAC, wired by ``MacBase.attach_traffic``;
+    #: invoked when an OFF->ON transition makes packets available again.
+    on_arrival: Optional[Callable[[], None]] = None
+    _on: bool = field(default=True, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mean_on_s <= 0 or self.mean_off_s <= 0:
+            raise ValueError("mean ON/OFF durations must be positive")
+        if self.shape <= 1.0:
+            raise ValueError(
+                "Pareto shape must exceed 1 (the mean is infinite otherwise)"
+            )
+        self._on = bool(self.start_on)
+        self.sim.schedule_call(self._draw_duration(self._on), self._toggle)
+
+    def _draw_duration(self, on: bool) -> float:
+        mean = self.mean_on_s if on else self.mean_off_s
+        scale = mean * (self.shape - 1.0) / self.shape
+        return float(scale * (1.0 + self.rng.pareto(self.shape)))
+
+    def _toggle(self) -> None:
+        self._on = not self._on
+        if self._on and self.on_arrival is not None:
+            self.on_arrival()
+        self.sim.schedule_call(self._draw_duration(self._on), self._toggle)
+
+    def next_packet(self) -> Optional[Packet]:
+        if not self._on:
+            return None
+        self.packets_offered += 1
+        return (self.destination, self.payload_bytes)
+
+    def notify_sent(self, frame: Frame) -> None:
+        self.packets_sent += 1
+
+    @property
+    def is_on(self) -> bool:
+        return self._on

@@ -201,6 +201,87 @@ def test_reachability_fires_on_module_global_mutation():
     assert "_CACHE" in hits[0].message
 
 
+def test_reachability_fires_from_simenv_step_entry_point():
+    """SimEnv.step is a determinism root: controller code it reaches is held
+    to the same bar as Scenario.run / Simulator.run."""
+    findings = _flow(
+        {
+            "repro/control.py": (
+                "import time\n"
+                "class SimEnv:\n"
+                "    def step(self, action):\n"
+                "        return decide(action)\n"
+                "def decide(action):\n"
+                "    return time.time()\n"
+            ),
+        }
+    )
+    hits = [f for f in findings if f.rule == "determinism-reachability"]
+    assert len(hits) == 1
+    assert "time.time" in hits[0].message
+    assert "SimEnv.step" in hits[0].message and "decide" in hits[0].message
+
+
+def test_reachability_quiet_for_impurity_unreachable_from_simenv_step():
+    """The same wall-clock read is fine when step() never reaches it."""
+    findings = _flow(
+        {
+            "repro/control.py": (
+                "import time\n"
+                "class SimEnv:\n"
+                "    def step(self, action):\n"
+                "        return 0\n"
+                "def bench_only():\n"
+                "    return time.time()\n"
+            ),
+        }
+    )
+    assert "determinism-reachability" not in _rules_of(findings)
+
+
+def test_seed_provenance_fires_into_control_sink():
+    """Unseeded rng flowing into a repro.control function is a violation."""
+    findings = _flow(
+        {
+            "repro/control/__init__.py": "",
+            "repro/control/controllers.py": (
+                "def make_controller(rng):\n    return rng.random()\n"
+            ),
+            "repro/launch.py": (
+                "import numpy as np\n"
+                "from repro.control.controllers import make_controller\n"
+                "def main():\n"
+                "    rng = np.random.default_rng()\n"
+                "    return make_controller(rng)\n"
+            ),
+        }
+    )
+    hits = [f for f in findings if f.rule == "seed-provenance"]
+    assert len(hits) == 1
+    assert hits[0].path == "repro/launch.py"
+    assert "make_controller" in hits[0].message
+
+
+def test_seed_provenance_quiet_for_seeded_controller_stream():
+    """The controller_rng idiom -- a seeded stream -- is clean."""
+    findings = _flow(
+        {
+            "repro/control/__init__.py": "",
+            "repro/control/controllers.py": (
+                "def make_controller(rng):\n    return rng.random()\n"
+            ),
+            "repro/launch.py": (
+                "import numpy as np\n"
+                "from repro.control.controllers import make_controller\n"
+                "def main():\n"
+                "    rng = np.random.default_rng(0xC0)\n"
+                "    return make_controller(rng)\n"
+            ),
+        }
+    )
+    assert "seed-provenance" not in _rules_of(findings)
+
+
 def test_reachability_quiet_for_shadowing_local():
     """d[k] = v on a local that shadows a module global is not a mutation."""
     findings = _flow(

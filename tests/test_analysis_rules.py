@@ -187,6 +187,64 @@ def test_slots_rule_silent_outside_report_scope():
     )
 
 
+# -- repro.control scope coverage --------------------------------------------
+#
+# The closed-loop control plane holds the same determinism bar as the
+# simulation core: wall clocks and slot-less hot-path classes are flagged
+# inside repro.control, and the sanctioned idioms stay quiet there.
+
+
+def test_wall_clock_rule_fires_in_control_scope():
+    findings = _lint(
+        """
+        import time
+
+        def epoch_stamp():
+            return time.perf_counter()
+        """,
+        module="repro.control.fixture",
+    )
+    assert any(f.rule == "no-wall-clock" for f in findings)
+
+
+def test_wall_clock_rule_accepts_sim_clock_in_control_scope():
+    assert "no-wall-clock" not in _rules_fired(
+        """
+        def epoch_stamp(net):
+            return net.sim.now
+        """,
+        module="repro.control.fixture",
+    )
+
+
+def test_slots_rule_fires_on_plain_class_in_control_scope():
+    findings = _lint(
+        """
+        class Probe:
+            def __init__(self):
+                self.windows = {}
+        """,
+        module="repro.control.fixture",
+    )
+    assert any(f.rule == "slots-hot-path" for f in findings)
+
+
+def test_slots_rule_accepts_slotted_controller_in_control_scope():
+    assert "slots-hot-path" not in _rules_fired(
+        """
+        from dataclasses import dataclass
+
+        class Controller:
+            __slots__ = ("step_db",)
+
+        @dataclass(frozen=True, slots=True)
+        class Action:
+            cca_delta_db: float = 0.0
+        """,
+        module="repro.control.fixture",
+    )
+
+
 # -- cache-key-stability -----------------------------------------------------
 
 

@@ -1,0 +1,362 @@
+"""Closed-loop control subsystem: equivalence anchors, controllers, plumbing.
+
+The load-bearing guarantee is *observation neutrality*: installing the
+probe and stepping a run through :class:`~repro.control.env.SimEnv` with a
+no-op policy must replay the uncontrolled run byte-for-byte -- same result
+arrays, same meta, same ``events_processed``.  Every other behaviour
+(controller actuation, cache keys, CLI coercion, parallel dispatch) layers
+on top of that anchor.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import Study
+from repro.control import (
+    Action,
+    AimdBitrateController,
+    HysteresisThresholdController,
+    SimEnv,
+    StaticController,
+    controller_rng,
+)
+from repro.control.probe import Observation
+from repro.registry import CONTROLLERS
+from repro.scenarios import Scenario
+from repro.simulation.traffic import OnOffTraffic
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TOPOLOGIES = (
+    "uniform_disc",
+    "grid",
+    "clustered",
+    "scale_free",
+    "hidden_terminal",
+    "exposed_terminal",
+    "line",
+)
+
+#: Small-but-real config reused across the equivalence tests.
+BASE = dict(n_nodes=6, extent_m=120.0, seed=3, duration_s=0.25, sigma_db=2.0)
+
+RESULT_COLUMNS = (
+    "delivered_pps", "offered_pps", "loss_frac", "delay_s",
+    "delay_p50_s", "delay_p99_s", "delivered_packets",
+    "offered_packets", "sent_packets", "hops", "queue_drops",
+)
+
+
+def _obs(**overrides) -> Observation:
+    """An Observation fixture with sane defaults for controller unit tests."""
+    fields = dict(
+        epoch=0, t_start=0.0, t_end=0.1,
+        delivered_pps=100.0, offered_pps=110.0, loss_frac=0.0,
+        busy_frac=0.5, delay_p50_s=0.001, delay_p99_s=0.01,
+        delivered_packets=10, offered_packets=11, sent_packets=10,
+        cca_threshold_dbm=-82.0, rate_mbps=12.0,
+    )
+    fields.update(overrides)
+    return Observation(**fields)
+
+
+# -- equivalence anchor: no-op stepping replays the uncontrolled run ----------
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_noop_stepped_run_is_byte_identical(topology):
+    """SimEnv + no actions == scenario.run(), to the byte, per topology."""
+    scenario = Scenario(topology=topology, **BASE)
+    env = SimEnv(scenario, epoch_s=0.05)
+    env.reset()
+    while not env.done:
+        env.step()
+    assert env.result_set().to_bytes() == scenario.run().to_bytes()
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_static_controller_scenario_run_equivalence(topology):
+    """Scenario(controller='static') == uncontrolled run modulo the trace."""
+    plain = Scenario(topology=topology, **BASE).run()
+    controlled = Scenario(
+        topology=topology, controller="static", control_epoch_s=0.05, **BASE
+    ).run()
+    meta = dict(controlled.scenarios[0])
+    control = meta.pop("control")
+    assert meta == dict(plain.scenarios[0])  # includes events_processed
+    assert control["controller"] == "static"
+    assert control["epochs"] == len(control["trace"]) == 5
+    for column in RESULT_COLUMNS:
+        np.testing.assert_array_equal(
+            getattr(plain, column), getattr(controlled, column)
+        )
+
+
+def test_noop_action_is_strict_noop():
+    assert Action().is_noop
+    assert not Action(cca_delta_db=1.0).is_noop
+    assert not Action(rate_step=-1).is_noop
+
+
+# -- env lifecycle -------------------------------------------------------------
+
+
+def test_env_requires_reset_and_refuses_overrun():
+    scenario = Scenario(topology="grid", **BASE)
+    env = SimEnv(scenario, epoch_s=0.05)
+    with pytest.raises(RuntimeError):
+        env.step()
+    with pytest.raises(RuntimeError):
+        env.observe()
+    baseline = env.reset()
+    assert baseline.epoch == -1 and env.observe() is baseline
+    steps = 0
+    while not env.done:
+        obs = env.step()
+        steps += 1
+        assert obs.epoch == steps - 1
+        assert obs.t_end > obs.t_start
+    assert steps == 5 and len(env.history) == 5
+    with pytest.raises(RuntimeError):
+        env.step()
+
+
+def test_env_epoch_defaults_follow_scenario():
+    spec = Scenario(
+        topology="grid", controller="static", control_epoch_s=0.125, **BASE
+    )
+    assert SimEnv(spec).epoch_s == 0.125
+    # Without control_epoch_s: duration / DEFAULT_EPOCHS.
+    assert SimEnv(Scenario(topology="grid", **BASE)).epoch_s == pytest.approx(0.025)
+
+
+def test_observation_windows_are_sane():
+    """Busy fraction bounded, percentiles ordered, deltas sum to totals."""
+    scenario = Scenario(
+        topology="exposed_terminal", n_nodes=4, extent_m=120.0, seed=3,
+        duration_s=0.5,
+    )
+    env = SimEnv(scenario, epoch_s=0.1)
+    env.reset()
+    while not env.done:
+        env.step()
+    trace = env.history
+    assert len(trace) == 5
+    delivered = 0
+    for obs in trace:
+        assert 0.0 <= obs.busy_frac <= 1.0
+        if not math.isnan(obs.delay_p50_s):
+            assert obs.delay_p50_s <= obs.delay_p99_s
+        delivered += obs.delivered_packets
+    # Window deltas tile the run exactly: they sum to the cumulative total.
+    assert delivered == int(env.result_set().delivered_packets.sum())
+
+
+# -- actuation -----------------------------------------------------------------
+
+
+def test_apply_clamps_threshold_step_and_bounds():
+    scenario = Scenario(topology="grid", **BASE)
+    env = SimEnv(scenario, epoch_s=0.05, max_cca_step_db=6.0, cca_max_dbm=-40.0)
+    env.reset()
+    radios = [node.radio for node in env.net.nodes.values()]
+    start = radios[0].cca_threshold_dbm
+    env.probe.apply(Action(cca_delta_db=50.0))  # clamped to +6 per step
+    assert all(r.cca_threshold_dbm == start + 6.0 for r in radios)
+    for _ in range(20):
+        env.probe.apply(Action(cca_delta_db=6.0))
+    assert all(r.cca_threshold_dbm == -40.0 for r in radios)  # absolute cap
+
+
+def test_apply_steps_rate_along_ladder():
+    scenario = Scenario(topology="grid", rate_mbps=6.0, **BASE)
+    env = SimEnv(scenario, epoch_s=0.05)
+    env.reset()
+    env.probe.apply(Action(rate_step=2))
+    obs = env.step()
+    assert obs.rate_mbps == 12.0  # 6 -> 9 -> 12 on the OFDM ladder
+    env.probe.apply(Action(rate_step=-100))  # clamped per-step, then floor
+    for _ in range(5):
+        env.probe.apply(Action(rate_step=-4))
+    assert env.step().rate_mbps == 6.0
+
+
+# -- controllers ---------------------------------------------------------------
+
+
+def test_static_controller_never_acts():
+    controller = StaticController()
+    assert controller.decide(_obs(loss_frac=0.9)) is None
+
+
+def test_hysteresis_deadband_and_steps():
+    controller = HysteresisThresholdController(loss_lo=0.02, loss_hi=0.15, step_db=3.0)
+    assert controller.decide(_obs(loss_frac=0.5)).cca_delta_db == -3.0
+    assert controller.decide(_obs(loss_frac=0.0)).cca_delta_db == 3.0
+    assert controller.decide(_obs(loss_frac=0.08)) is None  # inside the band
+    assert controller.decide(_obs(loss_frac=float("nan"))) is None
+    assert controller.decide(_obs(sent_packets=0)) is None  # idle window
+    with pytest.raises(ValueError):
+        HysteresisThresholdController(loss_lo=0.5, loss_hi=0.2)
+
+
+def test_aimd_additive_increase_multiplicative_decrease():
+    controller = AimdBitrateController(loss_hi=0.15, increase_step=1, md_factor=0.5)
+    clean = controller.decide(_obs(loss_frac=0.01, rate_mbps=12.0))
+    assert clean.rate_step == 1
+    # 12 Mbps is ladder index 2; md 0.5 -> index 1 -> step -1.
+    lossy = controller.decide(_obs(loss_frac=0.5, rate_mbps=12.0))
+    assert lossy.rate_step == -1
+    # At the ladder floor, multiplicative decrease has nowhere to go.
+    assert controller.decide(_obs(loss_frac=0.5, rate_mbps=6.0)) is None
+    assert controller.decide(_obs(loss_frac=0.5, rate_mbps=7.77)) is None  # off-ladder
+    assert controller.decide(_obs(rate_mbps=float("nan"))) is None
+
+
+def test_controller_registry_and_seeded_stream():
+    assert {"static", "hysteresis", "aimd"} <= set(CONTROLLERS.names())
+    scenario = Scenario(topology="grid", **BASE)
+    built = CONTROLLERS.get("hysteresis")(
+        scenario, controller_rng(scenario.seed), step_db=4.0
+    )
+    assert built.step_db == 4.0
+    # The controller stream is deterministic and distinct from the default.
+    a = controller_rng(3).random(4)
+    np.testing.assert_array_equal(a, controller_rng(3).random(4))
+    assert not np.array_equal(a, np.random.default_rng(3).random(4))
+
+
+def test_scenario_validates_controller_fields():
+    with pytest.raises(ValueError):
+        Scenario(controller="not-registered", **BASE)
+    with pytest.raises(ValueError):
+        Scenario(control_epoch_s=0.05, **BASE)  # epoch without controller
+    with pytest.raises(ValueError):
+        Scenario(controller_params={"x": 1}, **BASE)
+    with pytest.raises(ValueError):
+        Scenario(controller="static", control_epoch_s=-1.0, **BASE)
+
+
+# -- cache keys ----------------------------------------------------------------
+
+
+def test_cache_key_unchanged_without_controller():
+    """Uncontrolled scenarios hash exactly as they did before the fields."""
+    config = Scenario(topology="grid", **BASE).as_config()
+    assert "controller" not in config
+    assert "controller_params" not in config
+    assert "control_epoch_s" not in config
+
+
+def test_cache_key_round_trips_with_controller():
+    spec = Scenario(
+        topology="grid", controller="hysteresis",
+        controller_params={"step_db": 4.0}, control_epoch_s=0.05, **BASE,
+    )
+    config = spec.as_config()
+    assert config["controller"] == "hysteresis"
+    assert config["controller_params"] == {"step_db": 4.0}
+    assert Scenario.from_config(config) == spec
+    # Different controller params -> different key material.
+    other = spec.with_overrides(controller_params={"step_db": 6.0})
+    assert other.as_config() != config
+
+
+# -- parallel dispatch ---------------------------------------------------------
+
+
+def test_controlled_runs_deterministic_under_parallel_dispatch():
+    """Worker-pool dispatch reproduces in-process controlled runs exactly."""
+    scenarios = [
+        Scenario(
+            topology="exposed_terminal", n_nodes=4, extent_m=120.0,
+            seed=seed, duration_s=0.25, controller="hysteresis",
+            controller_params={"step_db": 6.0}, control_epoch_s=0.05,
+        )
+        for seed in (3, 4)
+    ]
+    serial = Study.of(scenarios).run(workers=0).results()
+    pooled = Study.of(scenarios).run(workers=2).results()
+    assert serial.to_bytes() == pooled.to_bytes()
+
+
+# -- on/off traffic ------------------------------------------------------------
+
+
+def test_onoff_traffic_validates_and_replays():
+    with pytest.raises(ValueError):
+        OnOffTraffic(sim=None, mean_on_s=0.0)
+    with pytest.raises(ValueError):
+        OnOffTraffic(sim=None, shape=1.0)  # Pareto needs shape > 1
+    spec = Scenario(
+        topology="grid", traffic="onoff",
+        traffic_params={"mean_on_s": 0.03, "mean_off_s": 0.02},
+        n_nodes=5, seed=7, duration_s=0.3,
+    )
+    first = spec.run()
+    assert first.to_bytes() == spec.run().to_bytes()
+    # Pinned replay: drift in the seeded Pareto draws changes this total.
+    assert int(first.delivered_packets.sum()) == 34
+    # The OFF periods really gate the load: a saturated run sends more.
+    saturated = spec.with_overrides(traffic="saturated", traffic_params={}).run()
+    assert first.sent_packets.sum() < saturated.sent_packets.sum()
+
+
+# -- experiments ---------------------------------------------------------------
+
+
+def test_online_vs_static_adaptive_beats_static():
+    """The registered ablation: adaptive >= static aggregate throughput."""
+    from repro.experiments import online_vs_static
+
+    result = online_vs_static.run(
+        duration=0.5, epochs=5, seeds=1, no_cache=True
+    )
+    summary = result.data["summary"]
+    static_pps = summary["static-default"]["mean_delivered_pps"]
+    for arm in ("hysteresis", "aimd"):
+        assert summary[arm]["mean_delivered_pps"] >= static_pps
+    assert result.data["adaptive_gain"] >= 1.0
+    # The per-epoch trace table covers every adaptive arm and epoch.
+    rows = result.data["trace"]
+    assert {row["arm"] for row in rows} == {"hysteresis", "aimd"}
+    assert len(rows) == 2 * 5
+
+
+def test_control_under_burst_recovers_throughput():
+    from repro.experiments import control_under_burst
+
+    result = control_under_burst.run(
+        off_fracs=(0.3,), duration=0.5, epochs=5, seeds=1, no_cache=True
+    )
+    assert result.data["min_gain"] >= 1.0
+    series = result.data["epoch_series"]
+    assert len(series) == 5
+    # The controller actually walked the threshold during the run.
+    assert series[-1]["cca_threshold_dbm"] > series[0]["cca_threshold_dbm"]
+
+
+def test_controller_param_set_coercion_through_cli():
+    """--set coerces controller-facing params through the experiments CLI."""
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.experiments", "run", "online-vs-static",
+            "--set", "duration=0.3", "--set", "epochs=3", "--set", "seeds=1",
+            "--set", "tuned_cca=-58", "--set", "no_cache=true", "--json",
+        ],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    (manifest,) = json.loads(proc.stdout)
+    assert manifest["params"]["tuned_cca"] == -58.0  # float-coerced
+    assert manifest["params"]["epochs"] == 3  # int-coerced
+    assert manifest["scalars"]["adaptive_gain"] >= 1.0
